@@ -1,0 +1,98 @@
+// Command oldenbench regenerates the paper's experiments end-to-end:
+//
+//	oldenbench -table 1            # benchmark descriptions
+//	oldenbench -table 2            # speedups + migrate-only comparison
+//	oldenbench -table 3            # caching statistics per coherence scheme
+//	oldenbench -figure 2           # list-distribution crossover
+//
+// Problem sizes default to 1/16 of the paper's (Table 1) sizes; pass
+// -scale 1 for the full sizes. -procs selects the machine sizes for
+// Table 2 and -maxprocs the machine size for Table 3 / Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/coherence"
+
+	_ "repro/internal/bench/barneshut"
+	_ "repro/internal/bench/bisort"
+	_ "repro/internal/bench/em3d"
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/power"
+	_ "repro/internal/bench/treeadd"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (1, 2 or 3)")
+	figure := flag.Int("figure", 0, "regenerate a figure (2)")
+	curve := flag.String("curve", "", "print one benchmark's speedup curve (heuristic, migrate-only and cache-only)")
+	scale := flag.Int("scale", bench.DefaultScale, "divide the paper's problem sizes by this factor (1 = full size)")
+	procsFlag := flag.String("procs", "1,2,4,8,16,32", "machine sizes for Table 2")
+	maxProcs := flag.Int("maxprocs", 32, "machine size for Table 3 and Figure 2")
+	scheme := flag.String("scheme", "local", "coherence scheme for Table 2: local, global, bilateral")
+	flag.Parse()
+
+	var procs []int
+	for _, f := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > 64 {
+			fatalf("bad -procs entry %q", f)
+		}
+		procs = append(procs, v)
+	}
+	var kind coherence.Kind
+	switch *scheme {
+	case "local":
+		kind = coherence.LocalKnowledge
+	case "global":
+		kind = coherence.GlobalKnowledge
+	case "bilateral":
+		kind = coherence.Bilateral
+	default:
+		fatalf("unknown -scheme %q", *scheme)
+	}
+
+	switch {
+	case *table == 1:
+		fmt.Print(bench.Table1())
+	case *table == 2:
+		out, err := bench.Table2(procs, *scale, kind)
+		fmt.Print(out)
+		if err != nil {
+			fatalf("table 2: %v", err)
+		}
+	case *table == 3:
+		out, err := bench.Table3(*maxProcs, *scale)
+		fmt.Print(out)
+		if err != nil {
+			fatalf("table 3: %v", err)
+		}
+	case *figure == 2:
+		fmt.Print(bench.Figure2(4096, *maxProcs))
+	case *curve != "":
+		out, err := bench.Curve(*curve, procs, *scale, kind)
+		fmt.Print(out)
+		if err != nil {
+			fatalf("curve: %v", err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2 or -curve <bench>")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oldenbench: "+format+"\n", args...)
+	os.Exit(1)
+}

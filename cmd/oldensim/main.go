@@ -1,0 +1,106 @@
+// Command oldensim runs one Olden benchmark at one configuration and
+// prints cycles, speedup against the sequential baseline, and the runtime
+// statistics behind Tables 2 and 3.
+//
+//	oldensim -bench treeadd -procs 8
+//	oldensim -bench voronoi -procs 32 -mode migrate -scale 8
+//	oldensim -bench health -procs 16 -scheme bilateral
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/rt"
+
+	_ "repro/internal/bench/barneshut"
+	_ "repro/internal/bench/bisort"
+	_ "repro/internal/bench/em3d"
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/power"
+	_ "repro/internal/bench/treeadd"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+func main() {
+	name := flag.String("bench", "", "benchmark name ("+strings.Join(bench.Names(), ", ")+")")
+	procs := flag.Int("procs", 8, "simulated machine size")
+	scale := flag.Int("scale", bench.DefaultScale, "divide the paper's problem size (1 = full)")
+	mode := flag.String("mode", "heuristic", "mechanism mode: heuristic, migrate, cache")
+	scheme := flag.String("scheme", "local", "coherence scheme: local, global, bilateral")
+	flag.Parse()
+
+	info, ok := bench.Get(*name)
+	if !ok {
+		fatalf("unknown benchmark %q (want one of %s)", *name, strings.Join(bench.Names(), ", "))
+	}
+	var m rt.Mode
+	switch *mode {
+	case "heuristic":
+		m = rt.Heuristic
+	case "migrate":
+		m = rt.MigrateOnly
+	case "cache":
+		m = rt.CacheOnly
+	default:
+		fatalf("unknown -mode %q", *mode)
+	}
+	var k coherence.Kind
+	switch *scheme {
+	case "local":
+		k = coherence.LocalKnowledge
+	case "global":
+		k = coherence.GlobalKnowledge
+	case "bilateral":
+		k = coherence.Bilateral
+	default:
+		fatalf("unknown -scheme %q", *scheme)
+	}
+
+	base := info.Run(bench.Config{Baseline: true, Scale: *scale})
+	if !base.Verified() {
+		fatalf("baseline failed verification: %#x != %#x", base.Check, base.WantCheck)
+	}
+	res := info.Run(bench.Config{Procs: *procs, Scale: *scale, Mode: m, Scheme: k})
+	status := "verified"
+	if !res.Verified() {
+		status = fmt.Sprintf("FAILED (%#x != %#x)", res.Check, res.WantCheck)
+	}
+
+	fmt.Printf("%s: %s (%s)\n", *name, info.Description, info.PaperSize)
+	fmt.Printf("procs=%d scale=1/%d mode=%s scheme=%s\n", *procs, *scale, m, k)
+	fmt.Printf("result: %s\n", status)
+	fmt.Printf("sequential baseline: %d cycles\n", base.Cycles)
+	fmt.Printf("parallel makespan:   %d cycles  (speedup %.2f)\n",
+		res.Cycles, float64(base.Cycles)/float64(res.Cycles))
+	s := res.Stats
+	fmt.Printf("migrations %d, returns %d, futures %d, pointer tests %d\n",
+		s.Migrations, s.Returns, s.Futures, s.PtrTests)
+	fmt.Printf("cacheable reads %d (%.2f%% remote), writes %d (%.2f%% remote)\n",
+		s.CacheableReads, pct(s.RemoteReads, s.CacheableReads),
+		s.CacheableWrites, pct(s.RemoteWrites, s.CacheableWrites))
+	fmt.Printf("misses %d (%.2f%% of remote refs), lines fetched %d, pages cached %d\n",
+		s.Misses, s.MissPct(), s.LineFetches, res.Pages)
+	if !res.Verified() {
+		os.Exit(1)
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oldensim: "+format+"\n", args...)
+	os.Exit(1)
+}

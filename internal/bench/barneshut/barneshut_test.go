@@ -1,0 +1,99 @@
+package barneshut
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+func TestCorrectness(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res := Run(bench.Config{Procs: procs, Scale: 32})
+		if !res.Verified() {
+			t.Fatalf("P=%d: checksum %#x != %#x", procs, res.Check, res.WantCheck)
+		}
+	}
+}
+
+func TestCorrectnessAllSchemes(t *testing.T) {
+	for _, scheme := range []coherence.Kind{coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral} {
+		res := Run(bench.Config{Procs: 4, Scale: 32, Scheme: scheme})
+		if !res.Verified() {
+			t.Fatalf("%v: checksum mismatch", scheme)
+		}
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	base := Run(bench.Config{Baseline: true, Scale: 16})
+	sp2 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 2, Scale: 16}).Cycles)
+	sp8 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 8, Scale: 16}).Cycles)
+	if sp2 < 1.0 {
+		t.Errorf("P=2 speedup %.2f (paper: 1.42)", sp2)
+	}
+	if sp8 < 2.5 {
+		t.Errorf("P=8 speedup %.2f (paper: 5.29)", sp8)
+	}
+	if sp8 > 7.5 {
+		t.Errorf("P=8 speedup %.2f; the sequential tree build should bound it", sp8)
+	}
+}
+
+func TestMigrateOnlyCollapses(t *testing.T) {
+	// Table 2: <0.01 speedup migrate-only at 32 — every tree-walk step
+	// would serialize through migrations on the shared tree.
+	h := Run(bench.Config{Procs: 4, Scale: 32})
+	m := Run(bench.Config{Procs: 4, Scale: 32, Mode: rt.MigrateOnly})
+	if !m.Verified() {
+		t.Fatal("migrate-only must verify")
+	}
+	if float64(m.Cycles) < 3*float64(h.Cycles) {
+		t.Errorf("migrate-only %d vs heuristic %d; expected collapse", m.Cycles, h.Cycles)
+	}
+}
+
+func TestHeuristicBottleneckRule(t *testing.T) {
+	prog, err := lang.Parse(KernelSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Analyze(prog, core.DefaultParams())
+	// Standalone, the tree walk would migrate (high child affinities).
+	walk := r.FindLoop("walk/rec")
+	if walk == nil || walk.Mech != core.ChooseMigrate {
+		t.Fatal("standalone tree walk should migrate")
+	}
+	// Inside the parallel body loop it is a bottleneck: demoted to cache.
+	loop := r.FindLoop("forces/while")
+	if loop == nil || !loop.Parallel || loop.Mech != core.ChooseMigrate || loop.Var != "b" {
+		t.Fatal("body loop must be parallel and migrate b")
+	}
+	var inst *core.Loop
+	for _, c := range loop.Children {
+		if c.Fn.Name == "walk" {
+			inst = c
+		}
+	}
+	if inst == nil {
+		t.Fatal("walk instance not expanded under the body loop")
+	}
+	if inst.Mech != core.ChooseCache || !inst.Bottleneck {
+		t.Fatalf("walk under forces: %s bottleneck=%v; the tree must cache to avoid a root bottleneck",
+			inst.Mech, inst.Bottleneck)
+	}
+	if r.UsesMigrationOnly() {
+		t.Fatal("barneshut is an M+C benchmark")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(bench.Config{Procs: 4, Scale: 32})
+	b := Run(bench.Config{Procs: 4, Scale: 32})
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatal("runs must be deterministic")
+	}
+}

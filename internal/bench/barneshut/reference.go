@@ -1,0 +1,205 @@
+// Package barneshut implements the Barnes-Hut benchmark: the O(N log N)
+// hierarchical N-body method (paper Table 1: 8K bodies). Each timestep
+// builds an octree over the bodies (sequentially, as in the paper),
+// computes cell centers of mass, computes per-body accelerations by
+// walking the tree with the opening criterion θ, and advances positions.
+//
+// Heuristic choice (Table 2: M+C): migration sends computation to the
+// processor owning each body (bodies have high locality); the tree is
+// cached *despite* its high locality, because migrating the walk would
+// serialize every thread on the tree root — the bottleneck rule of §4.3.
+// Migrate-only at 32 processors achieves <0.01 speedup in the paper.
+package barneshut
+
+import "math"
+
+const (
+	theta   = 0.6  // opening criterion
+	dt      = 0.03 // timestep
+	eps2    = 1e-4 // softening
+	gravity = 1.0
+)
+
+// refBody is the plain-Go body.
+type refBody struct {
+	mass     float64
+	pos, vel [3]float64
+	acc      [3]float64
+}
+
+// refCell is the plain-Go octree cell.
+type refCell struct {
+	mass  float64
+	com   [3]float64
+	child [8]any // *refCell or *refBody
+}
+
+// genBodies produces a deterministic cluster of bodies in the unit cube.
+func genBodies(n int) []*refBody {
+	seed := uint64(777)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	bodies := make([]*refBody, n)
+	for i := range bodies {
+		b := &refBody{mass: 0.5 + next()}
+		for k := 0; k < 3; k++ {
+			b.pos[k] = next()
+			b.vel[k] = (next() - 0.5) * 0.1
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// octant returns which child octant of a cell centered at c the point p
+// falls into.
+func octant(c, p [3]float64) int {
+	o := 0
+	for k := 0; k < 3; k++ {
+		if p[k] >= c[k] {
+			o |= 1 << uint(k)
+		}
+	}
+	return o
+}
+
+// childCenter offsets a cell center into one octant.
+func childCenter(c [3]float64, half float64, o int) [3]float64 {
+	q := half / 2
+	for k := 0; k < 3; k++ {
+		if o&(1<<uint(k)) != 0 {
+			c[k] += q
+		} else {
+			c[k] -= q
+		}
+	}
+	return c
+}
+
+// refInsert inserts a body into the octree.
+func refInsert(cell *refCell, center [3]float64, half float64, b *refBody) {
+	o := octant(center, b.pos)
+	switch cur := cell.child[o].(type) {
+	case nil:
+		cell.child[o] = b
+	case *refBody:
+		sub := &refCell{}
+		cell.child[o] = sub
+		cc := childCenter(center, half, o)
+		refInsert(sub, cc, half/2, cur)
+		refInsert(sub, cc, half/2, b)
+	case *refCell:
+		refInsert(cur, childCenter(center, half, o), half/2, b)
+	}
+}
+
+// refCoM computes cell masses and centers of mass bottom-up.
+func refCoM(cell *refCell) {
+	cell.mass = 0
+	var wpos [3]float64
+	for _, ch := range cell.child {
+		switch c := ch.(type) {
+		case *refBody:
+			cell.mass += c.mass
+			for k := 0; k < 3; k++ {
+				wpos[k] += c.mass * c.pos[k]
+			}
+		case *refCell:
+			refCoM(c)
+			cell.mass += c.mass
+			for k := 0; k < 3; k++ {
+				wpos[k] += c.mass * c.com[k]
+			}
+		}
+	}
+	if cell.mass > 0 {
+		for k := 0; k < 3; k++ {
+			cell.com[k] = wpos[k] / cell.mass
+		}
+	}
+}
+
+// accumulate adds the gravitational pull of (mass at pos) on b.
+func accumulate(b *refBody, mass float64, pos [3]float64) {
+	var dr [3]float64
+	r2 := eps2
+	for k := 0; k < 3; k++ {
+		dr[k] = pos[k] - b.pos[k]
+		r2 += dr[k] * dr[k]
+	}
+	inv := gravity * mass / (r2 * math.Sqrt(r2))
+	for k := 0; k < 3; k++ {
+		b.acc[k] += dr[k] * inv
+	}
+}
+
+// refForce walks the tree for one body.
+func refForce(b *refBody, node any, half float64) {
+	switch c := node.(type) {
+	case nil:
+	case *refBody:
+		if c != b {
+			accumulate(b, c.mass, c.pos)
+		}
+	case *refCell:
+		var dr float64
+		for k := 0; k < 3; k++ {
+			d := c.com[k] - b.pos[k]
+			dr += d * d
+		}
+		if (2*half)*(2*half) < theta*theta*dr {
+			accumulate(b, c.mass, c.com)
+			return
+		}
+		for _, ch := range c.child {
+			refForce(b, ch, half/2)
+		}
+	}
+}
+
+// refStep runs one timestep over all bodies.
+func refStep(bodies []*refBody) {
+	root := &refCell{}
+	center := [3]float64{0.5, 0.5, 0.5}
+	const half = 4.0 // generous bounds: bodies drift slowly
+	for _, b := range bodies {
+		refInsert(root, center, half, b)
+	}
+	refCoM(root)
+	for _, b := range bodies {
+		b.acc = [3]float64{}
+		refForce(b, root, half)
+	}
+	for _, b := range bodies {
+		for k := 0; k < 3; k++ {
+			b.vel[k] += b.acc[k] * dt
+			b.pos[k] += b.vel[k] * dt
+		}
+	}
+}
+
+// refChecksum folds the final body positions.
+func refChecksum(bodies []*refBody) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, b := range bodies {
+		for k := 0; k < 3; k++ {
+			mix(math.Float64bits(b.pos[k]))
+		}
+	}
+	return h
+}
+
+// reference runs the simulation in plain Go.
+func reference(n, steps int) uint64 {
+	bodies := genBodies(n)
+	for s := 0; s < steps; s++ {
+		refStep(bodies)
+	}
+	return refChecksum(bodies)
+}

@@ -1,0 +1,178 @@
+// Package bench is the shared harness for the ten Olden benchmarks
+// (paper Table 1): registration, configuration, result reporting and the
+// speedup methodology of Table 2.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+	"repro/internal/rt"
+)
+
+// Config selects how one benchmark run executes.
+type Config struct {
+	// Procs is the simulated machine size (1..32 in the paper).
+	Procs int
+	// Scheme is the coherence scheme (Table 2 uses local knowledge;
+	// Table 3 compares all three).
+	Scheme coherence.Kind
+	// Mode optionally overrides the heuristic's per-site mechanisms
+	// (Table 2's last column forces MigrateOnly).
+	Mode rt.Mode
+	// Baseline runs the "true sequential implementation": one
+	// processor, no pointer-test/future overhead. Procs is ignored.
+	Baseline bool
+	// Scale divides the paper's problem size: 1 reproduces Table 1's
+	// sizes, 8 runs 1/8-size problems, etc. Zero means DefaultScale.
+	Scale int
+}
+
+// DefaultScale keeps default runs comfortably fast; `-scale 1` in
+// cmd/oldenbench reproduces the paper's sizes.
+const DefaultScale = 16
+
+func (c Config) normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Baseline {
+		c.Procs = 1
+	}
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	return c
+}
+
+// NewRuntime builds the runtime for a run.
+func (c Config) NewRuntime() *rt.Runtime { return c.NewRuntimeWithHeap(0) }
+
+// NewRuntimeWithHeap builds the runtime with an explicit per-processor heap
+// size (benchmarks at paper-scale sizes need more than the default).
+func (c Config) NewRuntimeWithHeap(heapBytes uint32) *rt.Runtime {
+	c = c.normalize()
+	return rt.New(rt.Config{
+		Procs:            c.Procs,
+		Scheme:           c.Scheme,
+		Mode:             c.Mode,
+		NoOverhead:       c.Baseline,
+		HeapBytesPerProc: heapBytes,
+	})
+}
+
+// Scaled divides a paper-scale quantity by the configured scale, keeping a
+// sensible floor.
+func (c Config) Scaled(paper, floor int) int {
+	c = c.normalize()
+	v := paper / c.Scale
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Name   string
+	Procs  int
+	Cycles int64 // makespan of the timed region
+	Stats  machine.StatsSnapshot
+	Pages  int64 // cumulative pages cached (Table 3)
+	// Check and WantCheck are the parallel run's checksum and the
+	// sequential reference's; equal means verified.
+	Check     uint64
+	WantCheck uint64
+}
+
+// Verified reports whether the run produced the reference answer.
+func (r Result) Verified() bool { return r.Check == r.WantCheck }
+
+// Info describes a registered benchmark for Table 1.
+type Info struct {
+	Name        string
+	Description string
+	PaperSize   string // problem size from Table 1
+	Choice      string // "M" or "M+C", the heuristic choice in Table 2
+	Whole       bool   // whole-program timing (the W rows)
+	Run         func(Config) Result
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Info{}
+)
+
+// Register enrolls a benchmark; called from each benchmark package's init.
+func Register(info Info) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic("bench: duplicate benchmark " + info.Name)
+	}
+	registry[info.Name] = info
+}
+
+// Get returns a registered benchmark.
+func Get(name string) (Info, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// Names returns the registered benchmark names in Table 1's order where
+// known, then alphabetically.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	order := map[string]int{
+		"treeadd": 0, "power": 1, "tsp": 2, "mst": 3, "bisort": 4,
+		"voronoi": 5, "em3d": 6, "barneshut": 7, "perimeter": 8, "health": 9,
+	}
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// Speedup runs the benchmark sequentially (the baseline) and at each
+// machine size, returning baseline cycles and speedups — one row of
+// Table 2.
+func Speedup(name string, procs []int, scheme coherence.Kind, mode rt.Mode, scale int) (int64, []float64, error) {
+	info, ok := Get(name)
+	if !ok {
+		return 0, nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	base := info.Run(Config{Baseline: true, Scale: scale, Scheme: scheme})
+	if !base.Verified() {
+		return 0, nil, fmt.Errorf("bench: %s baseline check %#x != %#x", name, base.Check, base.WantCheck)
+	}
+	var sp []float64
+	for _, p := range procs {
+		res := info.Run(Config{Procs: p, Scheme: scheme, Mode: mode, Scale: scale})
+		if !res.Verified() {
+			return 0, nil, fmt.Errorf("bench: %s at P=%d check %#x != %#x", name, p, res.Check, res.WantCheck)
+		}
+		sp = append(sp, float64(base.Cycles)/float64(res.Cycles))
+	}
+	return base.Cycles, sp, nil
+}

@@ -1,0 +1,51 @@
+package bisort
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestReferenceSorts checks the adaptive bitonic algorithm itself: after a
+// forward sort, in-order + spare is ascending and a permutation of the
+// input; after a backward sort it is descending.
+func TestReferenceSorts(t *testing.T) {
+	for _, levels := range []int{1, 2, 3, 4, 7, 10} {
+		next := uint64(99)
+		root := refBuild(levels, &next)
+		spr := int64(next>>40) + 1
+		var input []int64
+		refInorder(root, &input)
+		input = append(input, spr)
+
+		spr = refBisort(root, spr, false)
+		var fwd []int64
+		refInorder(root, &fwd)
+		fwd = append(fwd, spr)
+		if !sort.SliceIsSorted(fwd, func(i, j int) bool { return fwd[i] < fwd[j] }) {
+			t.Fatalf("levels %d: forward sort not ascending: %v", levels, fwd)
+		}
+		checkPerm(t, input, fwd)
+
+		spr = refBisort(root, spr, true)
+		var bwd []int64
+		refInorder(root, &bwd)
+		bwd = append(bwd, spr)
+		if !sort.SliceIsSorted(bwd, func(i, j int) bool { return bwd[i] > bwd[j] }) {
+			t.Fatalf("levels %d: backward sort not descending: %v", levels, bwd)
+		}
+		checkPerm(t, input, bwd)
+	}
+}
+
+func checkPerm(t *testing.T, a, b []int64) {
+	t.Helper()
+	as := append([]int64(nil), a...)
+	bs := append([]int64(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatal("not a permutation of the input")
+		}
+	}
+}

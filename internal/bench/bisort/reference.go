@@ -1,0 +1,126 @@
+// Package bisort implements the Bisort benchmark: the Bilardi–Nicolau
+// adaptive bitonic sort over a binary tree (paper Table 1: 128K integers),
+// run forward and then backward as in the Olden benchmark.
+//
+// Heuristic choice (Table 2: M+C): the recursive sort/merge follows the
+// tree (update affinity 1−0.3² = 91% ≥ threshold ⇒ migration), while the
+// pair of search pointers that walks the two subtrees during a merge is a
+// tree search (averaged affinity 70% ⇒ caching). Subtree exchanges swap
+// the trees' *contents* rather than pointers — expensive, but it preserves
+// the locality the second sort depends on; one side of the swap migrates,
+// the other is cached.
+package bisort
+
+// rnode is the plain-Go mirror of the tree node.
+type rnode struct {
+	val  int64
+	l, r *rnode
+}
+
+// refBuild builds a perfect tree of 2^levels − 1 nodes with deterministic
+// pseudo-random values; next is the value counter.
+func refBuild(levels int, next *uint64) *rnode {
+	if levels == 0 {
+		return nil
+	}
+	*next = *next*6364136223846793005 + 1442695040888963407
+	n := &rnode{val: int64(*next >> 40)}
+	n.l = refBuild(levels-1, next)
+	n.r = refBuild(levels-1, next)
+	return n
+}
+
+// refSwapTree deep-swaps the values of two same-shape subtrees.
+func refSwapTree(a, b *rnode) {
+	if a == nil {
+		return
+	}
+	a.val, b.val = b.val, a.val
+	refSwapTree(a.l, b.l)
+	refSwapTree(a.r, b.r)
+}
+
+// refBimerge merges a bitonic tree (root, spr) into sorted order along dir
+// (false = ascending), returning the new spare.
+func refBimerge(root *rnode, spr int64, dir bool) int64 {
+	rightex := (root.val > spr) != dir
+	if rightex {
+		root.val, spr = spr, root.val
+	}
+	pl, pr := root.l, root.r
+	for pl != nil {
+		elem := (pl.val > pr.val) != dir
+		if rightex {
+			if elem {
+				pl.val, pr.val = pr.val, pl.val
+				refSwapTree(pl.r, pr.r)
+				pl, pr = pl.l, pr.l
+			} else {
+				pl, pr = pl.r, pr.r
+			}
+		} else {
+			if elem {
+				pl.val, pr.val = pr.val, pl.val
+				refSwapTree(pl.l, pr.l)
+				pl, pr = pl.r, pr.r
+			} else {
+				pl, pr = pl.l, pr.l
+			}
+		}
+	}
+	if root.l != nil {
+		root.val = refBimerge(root.l, root.val, dir)
+		spr = refBimerge(root.r, spr, dir)
+	}
+	return spr
+}
+
+// refBisort sorts the tree plus spare along dir and returns the new spare.
+func refBisort(root *rnode, spr int64, dir bool) int64 {
+	if root.l == nil {
+		if (root.val > spr) != dir {
+			root.val, spr = spr, root.val
+		}
+		return spr
+	}
+	root.val = refBisort(root.l, root.val, dir)
+	spr = refBisort(root.r, spr, !dir)
+	return refBimerge(root, spr, dir)
+}
+
+// refInorder appends the in-order values.
+func refInorder(n *rnode, out *[]int64) {
+	if n == nil {
+		return
+	}
+	refInorder(n.l, out)
+	*out = append(*out, n.val)
+	refInorder(n.r, out)
+}
+
+// refChecksum hashes a value sequence.
+func refChecksum(vals []int64, spr int64) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	for _, v := range vals {
+		mix(v)
+	}
+	mix(spr)
+	return h
+}
+
+// reference runs the whole benchmark (forward then backward sort) in plain
+// Go and returns the final checksum.
+func reference(levels int) uint64 {
+	next := uint64(99)
+	root := refBuild(levels, &next)
+	spr := int64(next>>40) + 1
+	spr = refBisort(root, spr, false)
+	spr = refBisort(root, spr, true)
+	var vals []int64
+	refInorder(root, &vals)
+	return refChecksum(vals, spr)
+}

@@ -1,0 +1,83 @@
+package health
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+func TestCorrectness(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res := Run(bench.Config{Procs: procs, Scale: 16})
+		if !res.Verified() {
+			t.Fatalf("P=%d: checksum %#x != %#x", procs, res.Check, res.WantCheck)
+		}
+	}
+}
+
+func TestCorrectnessAllSchemes(t *testing.T) {
+	for _, scheme := range []coherence.Kind{coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral} {
+		res := Run(bench.Config{Procs: 4, Scale: 16, Scheme: scheme})
+		if !res.Verified() {
+			t.Fatalf("%v: checksum mismatch", scheme)
+		}
+	}
+}
+
+func TestModes(t *testing.T) {
+	// Health verifies under both forced modes; Table 2 reports migrate-
+	// only as roughly a wash (16.42 vs 16.52 at 32 processors).
+	for _, mode := range []rt.Mode{rt.MigrateOnly, rt.CacheOnly} {
+		res := Run(bench.Config{Procs: 4, Scale: 16, Mode: mode})
+		if !res.Verified() {
+			t.Fatalf("mode %v: checksum mismatch", mode)
+		}
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	base := Run(bench.Config{Baseline: true, Scale: 4})
+	sp2 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 2, Scale: 4}).Cycles)
+	sp8 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 8, Scale: 4}).Cycles)
+	if sp8 < sp2 || sp8 < 2 {
+		t.Errorf("speedups: P=2 %.2f, P=8 %.2f; want growth", sp2, sp8)
+	}
+}
+
+func TestHeuristicChoice(t *testing.T) {
+	prog, err := lang.Parse(KernelSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Analyze(prog, core.DefaultParams())
+	rec := r.FindLoop("sim/rec")
+	if rec == nil {
+		t.Fatal("recursion loop not found")
+	}
+	// Four recursive calls at default affinity: 1−0.3⁴ ≈ 99.2%.
+	if aff, ok := rec.Matrix.Diagonal("v"); !ok || aff < 0.99 {
+		t.Fatalf("recursion affinity = %v, %v; want ≈0.99", aff, ok)
+	}
+	if rec.Mech != core.ChooseMigrate || rec.Var != "v" {
+		t.Fatalf("tree traversal choice = %s %s; want migrate v", rec.Mech, rec.Var)
+	}
+	lst := r.FindLoop("sim/while")
+	if lst == nil || lst.Mech != core.ChooseCache || lst.Var != "p" {
+		t.Fatal("patient list walk must cache p")
+	}
+	if r.UsesMigrationOnly() {
+		t.Fatal("health is an M+C benchmark")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(bench.Config{Procs: 4, Scale: 16})
+	b := Run(bench.Config{Procs: 4, Scale: 16})
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatal("runs must be deterministic")
+	}
+}

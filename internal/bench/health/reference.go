@@ -1,0 +1,182 @@
+package health
+
+// reference is the plain-Go sequential implementation of the same
+// simulation. It mirrors the distributed kernel statement for statement —
+// same per-village random streams, same list orders — so checksums must
+// match exactly.
+
+type refPatient struct {
+	next     *refPatient
+	timeLeft int64
+	hops     int64
+}
+
+type refVillage struct {
+	children [4]*refVillage
+	level    int64
+	seed     uint64
+	free     int64
+	waiting  *refPatient
+	assess   *refPatient
+	inside   *refPatient
+	treated  int64
+	visits   int64
+}
+
+func refBuild(level int, seed uint64) *refVillage {
+	if level == 0 {
+		return nil
+	}
+	v := &refVillage{level: int64(level), seed: seed, free: int64(level)}
+	for c := 0; c < 4; c++ {
+		v.children[c] = refBuild(level-1, lcgNext(seed^uint64(c*2654435761+1)))
+	}
+	return v
+}
+
+func refPrepend(head **refPatient, p *refPatient) {
+	p.next = *head
+	*head = p
+}
+
+type refAction int
+
+const (
+	refKeep refAction = iota
+	refRemove
+)
+
+func refWalk(head **refPatient, f func(p *refPatient) refAction) {
+	var prev *refPatient
+	p := *head
+	for p != nil {
+		next := p.next
+		switch f(p) {
+		case refKeep:
+			prev = p
+		case refRemove:
+			if prev == nil {
+				*head = next
+			} else {
+				prev.next = next
+			}
+		}
+		p = next
+	}
+}
+
+func refSim(v *refVillage, level int) *refPatient {
+	if v == nil {
+		return nil
+	}
+	var up [4]*refPatient
+	for c := 0; c < 4; c++ {
+		up[c] = refSim(v.children[c], level-1)
+	}
+
+	for c := 0; c < 4; c++ {
+		p := up[c]
+		for p != nil {
+			next := p.next
+			p.hops++
+			refPrepend(&v.waiting, p)
+			p = next
+		}
+	}
+
+	refWalk(&v.inside, func(p *refPatient) refAction {
+		p.timeLeft--
+		if p.timeLeft > 0 {
+			return refKeep
+		}
+		v.free++
+		v.treated++
+		v.visits += p.hops
+		return refRemove
+	})
+
+	var passHead *refPatient
+	var pending []*refPatient
+	var pendingList []int // 0 = inside, 1 = assess
+	refWalk(&v.assess, func(p *refPatient) refAction {
+		p.timeLeft--
+		if p.timeLeft > 0 {
+			return refKeep
+		}
+		v.seed = lcgNext(v.seed)
+		if lcgPct(v.seed) < passUpPct {
+			v.free++
+			p.next = passHead
+			passHead = p
+			return refRemove
+		}
+		p.timeLeft = insideTime
+		pending = append(pending, p)
+		pendingList = append(pendingList, 0)
+		return refRemove
+	})
+
+	refWalk(&v.waiting, func(p *refPatient) refAction {
+		if v.free <= 0 {
+			return refKeep
+		}
+		v.free--
+		p.timeLeft = assessTime
+		pending = append(pending, p)
+		pendingList = append(pendingList, 1)
+		return refRemove
+	})
+	for i, p := range pending {
+		if pendingList[i] == 0 {
+			refPrepend(&v.inside, p)
+		} else {
+			refPrepend(&v.assess, p)
+		}
+	}
+
+	if level == 1 {
+		v.seed = lcgNext(v.seed)
+		if lcgPct(v.seed) < genPct {
+			refPrepend(&v.waiting, &refPatient{})
+		}
+	}
+	return passHead
+}
+
+func refChecksum(v *refVillage) uint64 {
+	if v == nil {
+		return 0
+	}
+	var sum uint64
+	sum += uint64(v.treated) * 1000003
+	sum += uint64(v.visits) * 10007
+	sum += uint64(v.free) * 101
+	for _, head := range []*refPatient{v.waiting, v.assess, v.inside} {
+		n := 0
+		for p := head; p != nil; p = p.next {
+			n++
+		}
+		sum += uint64(n) * 13
+	}
+	for c := 0; c < 4; c++ {
+		sum = sum*31 + refChecksum(v.children[c])
+	}
+	return sum
+}
+
+// reference runs the whole simulation in plain Go and returns the
+// checksum; procs is unused (the data layout does not affect results) but
+// kept for signature symmetry.
+func reference(levels, procs int) uint64 {
+	_ = procs
+	root := refBuild(levels, 12345)
+	for step := 0; step < steps; step++ {
+		leftover := refSim(root, levels)
+		for p := leftover; p != nil; {
+			next := p.next
+			refPrepend(&root.waiting, p)
+			p = next
+		}
+	}
+	return refChecksum(root)
+}

@@ -1,0 +1,16 @@
+package perimeter
+
+import "testing"
+
+// TestAlgorithmMatchesRaster validates Samet's algorithm against a direct
+// raster count at several image sizes.
+func TestAlgorithmMatchesRaster(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		im := makeImage(n)
+		want := rasterPerimeter(im)
+		got := int(reference(n))
+		if got != want {
+			t.Errorf("n=%d: quadtree perimeter %d != raster %d", n, got, want)
+		}
+	}
+}

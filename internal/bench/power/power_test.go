@@ -1,0 +1,65 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+func TestCorrectness(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		res := Run(bench.Config{Procs: procs, Scale: 16})
+		if !res.Verified() {
+			t.Fatalf("P=%d: check %#x != %#x", procs, res.Check, res.WantCheck)
+		}
+	}
+}
+
+func TestSpeedupNearLinear(t *testing.T) {
+	base := Run(bench.Config{Baseline: true, Scale: 2})
+	sp1 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 1, Scale: 2}).Cycles)
+	sp8 := float64(base.Cycles) / float64(Run(bench.Config{Procs: 8, Scale: 2}).Cycles)
+	if sp1 < 0.8 {
+		t.Errorf("1-processor speedup %.2f; paper reports 0.96", sp1)
+	}
+	if sp8 < 5 {
+		t.Errorf("P=8 speedup %.2f; Power scales near-linearly (paper: 6.92)", sp8)
+	}
+}
+
+func TestMigrateOnlyEquivalent(t *testing.T) {
+	h := Run(bench.Config{Procs: 4, Scale: 16})
+	m := Run(bench.Config{Procs: 4, Scale: 16, Mode: rt.MigrateOnly})
+	if h.Cycles != m.Cycles {
+		t.Fatalf("heuristic %d vs migrate-only %d; Power is an M benchmark", h.Cycles, m.Cycles)
+	}
+}
+
+func TestHeuristicChoice(t *testing.T) {
+	prog, err := lang.Parse(KernelSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Analyze(prog, core.DefaultParams())
+	rec := r.FindLoop("Compute/rec")
+	if rec == nil {
+		t.Fatal("recursion not found")
+	}
+	if rec.Mech != core.ChooseMigrate || rec.Var != "n" {
+		t.Fatalf("choice = %s %s; want migrate n", rec.Mech, rec.Var)
+	}
+	if !r.UsesMigrationOnly() {
+		t.Fatal("Power is an M benchmark (Table 2)")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(bench.Config{Procs: 4, Scale: 16})
+	b := Run(bench.Config{Procs: 4, Scale: 16})
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatal("runs must be deterministic")
+	}
+}

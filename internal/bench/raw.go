@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"repro/internal/gaddr"
+	"repro/internal/rt"
+)
+
+// The Raw helpers manipulate the distributed heap directly, bypassing the
+// runtime's cost accounting. Benchmarks whose rows in Table 2 report kernel
+// times use them for the untimed data-structure-building phase ("we report
+// kernel times only ... to avoid having their data structure building
+// phases, which show excellent speed-up, skew the results"); whole-program
+// benchmarks build through a thread instead.
+
+// RawAlloc allocates on a processor without charging anything.
+func RawAlloc(r *rt.Runtime, proc int, nbytes uint32) gaddr.GP {
+	return r.M.Procs[proc].Heap.Alloc(nbytes)
+}
+
+// RawStore writes a word of an object without charging anything.
+func RawStore(r *rt.Runtime, g gaddr.GP, off uint32, v uint64) {
+	a := g.Add(off)
+	r.M.Procs[a.Proc()].Heap.StoreWord(a.Off(), v)
+}
+
+// RawLoad reads a word of an object without charging anything.
+func RawLoad(r *rt.Runtime, g gaddr.GP, off uint32) uint64 {
+	a := g.Add(off)
+	return r.M.Procs[a.Proc()].Heap.LoadWord(a.Off())
+}
+
+// RawStorePtr writes a pointer field.
+func RawStorePtr(r *rt.Runtime, g gaddr.GP, off uint32, v gaddr.GP) {
+	RawStore(r, g, off, uint64(v))
+}
+
+// RawLoadPtr reads a pointer field.
+func RawLoadPtr(r *rt.Runtime, g gaddr.GP, off uint32) gaddr.GP {
+	return gaddr.GP(RawLoad(r, g, off))
+}
+
+// BlockedProc maps index i of n items onto one of p processors in a blocked
+// distribution (Figure 2, left).
+func BlockedProc(i, n, p int) int {
+	if n <= 0 {
+		return 0
+	}
+	q := i * p / n
+	if q >= p {
+		q = p - 1
+	}
+	return q
+}
+
+// CyclicProc maps index i onto p processors cyclically (Figure 2, right).
+func CyclicProc(i, p int) int { return i % p }

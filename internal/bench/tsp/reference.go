@@ -1,0 +1,217 @@
+// Package tsp implements the TSP benchmark: an estimate of the best
+// hamiltonian circuit via Karp's divide-and-conquer partitioning (paper
+// Table 1: 32K cities). Cities form a k-d-style balanced tree (median
+// splits on alternating coordinates); small subtrees are toured with a
+// greedy nearest-neighbor conquer step, and sibling tours are merged by
+// linear scans that splice the cycles.
+//
+// Heuristic choice (Table 2: M): TSP is one of the three benchmarks with
+// explicit path-affinity hints — the tree and tour pointers are marked
+// high-affinity, so both the divide recursion and the merge walks migrate.
+// "Using software caching in place of migration would increase rather than
+// decrease the cost of communication ... because a large amount of data is
+// accessed on each processor during the subtree walk."
+package tsp
+
+import "math"
+
+// refCity mirrors the heap city record in plain Go.
+type refCity struct {
+	x, y       float64
+	id         int
+	l, r       *refCity
+	next, prev *refCity
+}
+
+// genPoints produces deterministic pseudo-random points in the unit
+// square.
+func genPoints(n int) []*refCity {
+	pts := make([]*refCity, n)
+	seed := uint64(20260705)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	for i := range pts {
+		pts[i] = &refCity{x: next(), y: next(), id: i}
+	}
+	return pts
+}
+
+// buildTree builds the balanced tree by median split on alternating axes.
+// It sorts in place and returns the median as subtree root.
+func buildTree(pts []*refCity, depth int) *refCity {
+	if len(pts) == 0 {
+		return nil
+	}
+	byX := depth%2 == 0
+	sortCities(pts, byX)
+	m := len(pts) / 2
+	root := pts[m]
+	root.l = buildTree(pts[:m], depth+1)
+	root.r = buildTree(pts[m+1:], depth+1)
+	return root
+}
+
+// sortCities is a deterministic merge sort by one coordinate (ties by id).
+func sortCities(pts []*refCity, byX bool) {
+	if len(pts) < 2 {
+		return
+	}
+	m := len(pts) / 2
+	left := append([]*refCity(nil), pts[:m]...)
+	right := append([]*refCity(nil), pts[m:]...)
+	sortCities(left, byX)
+	sortCities(right, byX)
+	less := func(a, b *refCity) bool {
+		ka, kb := a.x, b.x
+		if !byX {
+			ka, kb = a.y, b.y
+		}
+		if ka != kb {
+			return ka < kb
+		}
+		return a.id < b.id
+	}
+	i, j := 0, 0
+	for k := range pts {
+		switch {
+		case i < len(left) && (j >= len(right) || !less(right[j], left[i])):
+			pts[k] = left[i]
+			i++
+		default:
+			pts[k] = right[j]
+			j++
+		}
+	}
+}
+
+func dist(a, b *refCity) float64 {
+	dx, dy := a.x-b.x, a.y-b.y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// refCollect gathers a subtree's cities in order.
+func refCollect(t *refCity, out *[]*refCity) {
+	if t == nil {
+		return
+	}
+	refCollect(t.l, out)
+	*out = append(*out, t)
+	refCollect(t.r, out)
+}
+
+// refConquer builds a greedy nearest-neighbor tour over a small subtree,
+// starting from the subtree root, and returns the root as representative.
+func refConquer(t *refCity) *refCity {
+	var cities []*refCity
+	refCollect(t, &cities)
+	visited := map[*refCity]bool{t: true}
+	cur := t
+	for range cities[1:] {
+		var best *refCity
+		bestD := math.Inf(1)
+		for _, c := range cities {
+			if visited[c] {
+				continue
+			}
+			if d := dist(cur, c); d < bestD {
+				bestD, best = d, c
+			}
+		}
+		cur.next = best
+		best.prev = cur
+		visited[best] = true
+		cur = best
+	}
+	cur.next = t
+	t.prev = cur
+	return t
+}
+
+// refMerge splices tours a and b together through the divide node t,
+// which belongs to neither tour yet. Linear in |a| + |b|.
+func refMerge(a, b, t *refCity) *refCity {
+	// Insert t into tour a at the cheapest edge.
+	bestP := a
+	bestCost := math.Inf(1)
+	p := a
+	for {
+		q := p.next
+		cost := dist(p, t) + dist(t, q) - dist(p, q)
+		if cost < bestCost {
+			bestCost, bestP = cost, p
+		}
+		p = q
+		if p == a {
+			break
+		}
+	}
+	tNext := bestP.next
+	bestP.next = t
+	t.prev = bestP
+	t.next = tNext
+	tNext.prev = t
+
+	// Splice tour b in across t's outgoing edge.
+	bestB := b
+	bestCost = math.Inf(1)
+	p = b
+	for {
+		q := p.next
+		cost := dist(t, q) + dist(p, tNext) - dist(p, q)
+		if cost < bestCost {
+			bestCost, bestB = cost, p
+		}
+		p = q
+		if p == b {
+			break
+		}
+	}
+	q := bestB.next
+	t.next = q
+	q.prev = t
+	bestB.next = tNext
+	tNext.prev = bestB
+	return t
+}
+
+// refTSP is the divide-and-conquer driver; sz is the subtree size.
+func refTSP(t *refCity, sz, conquerSz int) *refCity {
+	if sz <= conquerSz {
+		return refConquer(t)
+	}
+	half := sz / 2
+	a := refTSP(t.l, half, conquerSz)
+	b := refTSP(t.r, half, conquerSz)
+	return refMerge(a, b, t)
+}
+
+// tourChecksum folds the tour order and total length.
+func tourChecksum(start *refCity) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	var length float64
+	p := start
+	for {
+		mix(uint64(p.id))
+		length += dist(p, p.next)
+		p = p.next
+		if p == start {
+			break
+		}
+	}
+	mix(math.Float64bits(length))
+	return h
+}
+
+// reference runs the whole benchmark in plain Go.
+func reference(n, conquerSz int) uint64 {
+	pts := genPoints(n)
+	root := buildTree(pts, 0)
+	rep := refTSP(root, n, conquerSz)
+	return tourChecksum(rep)
+}

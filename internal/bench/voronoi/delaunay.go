@@ -1,0 +1,175 @@
+package voronoi
+
+// This file is the Guibas–Stolfi divide-and-conquer Delaunay construction,
+// written once against the algebra interface so the sequential reference
+// and the distributed runs execute identical geometry.
+
+// Work constants for the geometric predicates.
+const (
+	ccwWork      = 70
+	incircleWork = 140
+)
+
+// ccw reports whether points a→b→c turn counterclockwise.
+func ccw(al algebra, a, b, c int32) bool {
+	al.work(ccwWork)
+	ax, ay := al.pt(a)
+	bx, by := al.pt(b)
+	cx, cy := al.pt(c)
+	return (bx-ax)*(cy-ay)-(by-ay)*(cx-ax) > 0
+}
+
+// inCircle reports whether d lies strictly inside the circumcircle of the
+// counterclockwise triangle a,b,c.
+func inCircle(al algebra, a, b, c, d int32) bool {
+	al.work(incircleWork)
+	ax, ay := al.pt(a)
+	bx, by := al.pt(b)
+	cx, cy := al.pt(c)
+	dx, dy := al.pt(d)
+	adx, ady := ax-dx, ay-dy
+	bdx, bdy := bx-dx, by-dy
+	cdx, cdy := cx-dx, cy-dy
+	alift := adx*adx + ady*ady
+	blift := bdx*bdx + bdy*bdy
+	clift := cdx*cdx + cdy*cdy
+	det := adx*(bdy*clift-cdy*blift) -
+		ady*(bdx*clift-cdx*blift) +
+		alift*(bdx*cdy-cdx*bdy)
+	return det > 0
+}
+
+// Derived edge functions.
+func dest(al algebra, e edgeRef) int32    { return al.org(e.sym()) }
+func lnext(al algebra, e edgeRef) edgeRef { return al.onext(e.invrot()).rot() }
+func oprev(al algebra, e edgeRef) edgeRef { return al.onext(e.rot()).rot() }
+func rprev(al algebra, e edgeRef) edgeRef { return al.onext(e.sym()) }
+
+// splice is the quad-edge primitive: it exchanges the onext rings of a and
+// b (and, dually, of their rotated duals).
+func splice(al algebra, a, b edgeRef) {
+	alpha := al.onext(a).rot()
+	beta := al.onext(b).rot()
+	t1 := al.onext(b)
+	t2 := al.onext(a)
+	al.setOnext(a, t1)
+	al.setOnext(b, t2)
+	t1 = al.onext(beta)
+	t2 = al.onext(alpha)
+	al.setOnext(alpha, t1)
+	al.setOnext(beta, t2)
+}
+
+// connect adds an edge from dest(a) to org(b) across a face.
+func connect(al algebra, a, b edgeRef) edgeRef {
+	e := al.makeEdge(dest(al, a), al.org(b))
+	splice(al, e, lnext(al, a))
+	splice(al, e.sym(), b)
+	return e
+}
+
+// deleteEdge unlinks and frees an edge.
+func deleteEdge(al algebra, e edgeRef) {
+	splice(al, e, oprev(al, e))
+	splice(al, e.sym(), oprev(al, e.sym()))
+	al.free(e)
+}
+
+// leftOf / rightOf relate a point to a directed edge.
+func leftOf(al algebra, p int32, e edgeRef) bool {
+	return ccw(al, p, al.org(e), dest(al, e))
+}
+func rightOf(al algebra, p int32, e edgeRef) bool {
+	return ccw(al, p, dest(al, e), al.org(e))
+}
+
+// delaunayMerge stitches two triangulations along their common tangent,
+// deleting edges that fail the incircle test (the "rising bubble").
+func delaunayMerge(al algebra, ldo, ldi, rdi, rdo edgeRef) (edgeRef, edgeRef) {
+	// Lower common tangent.
+	for {
+		switch {
+		case leftOf(al, al.org(rdi), ldi):
+			ldi = lnext(al, ldi)
+		case rightOf(al, al.org(ldi), rdi):
+			rdi = rprev(al, rdi)
+		default:
+			goto tangentDone
+		}
+	}
+tangentDone:
+	basel := connect(al, rdi.sym(), ldi)
+	if al.org(ldi) == al.org(ldo) {
+		ldo = basel.sym()
+	}
+	if al.org(rdi) == al.org(rdo) {
+		rdo = basel
+	}
+	valid := func(e edgeRef) bool { return rightOf(al, dest(al, e), basel) }
+	for {
+		lcand := al.onext(basel.sym())
+		if valid(lcand) {
+			for inCircle(al, dest(al, basel), al.org(basel), dest(al, lcand),
+				dest(al, al.onext(lcand))) {
+				tmp := al.onext(lcand)
+				deleteEdge(al, lcand)
+				lcand = tmp
+			}
+		}
+		rcand := oprev(al, basel)
+		if valid(rcand) {
+			for inCircle(al, dest(al, basel), al.org(basel), dest(al, rcand),
+				dest(al, oprev(al, rcand))) {
+				tmp := oprev(al, rcand)
+				deleteEdge(al, rcand)
+				rcand = tmp
+			}
+		}
+		lvalid, rvalid := valid(lcand), valid(rcand)
+		if !lvalid && !rvalid {
+			break
+		}
+		if !lvalid || (rvalid && inCircle(al,
+			dest(al, lcand), al.org(lcand), al.org(rcand), dest(al, rcand))) {
+			basel = connect(al, rcand, basel.sym())
+		} else {
+			basel = connect(al, basel.sym(), lcand.sym())
+		}
+	}
+	return ldo, rdo
+}
+
+// delaunayBase handles two- and three-point sets. ids must be sorted by x
+// (ties by y). It returns the ccw hull edge out of the leftmost point and
+// the cw hull edge out of the rightmost.
+func delaunayBase(al algebra, ids []int32) (edgeRef, edgeRef) {
+	if len(ids) == 2 {
+		a := al.makeEdge(ids[0], ids[1])
+		return a, a.sym()
+	}
+	// Three points.
+	a := al.makeEdge(ids[0], ids[1])
+	b := al.makeEdge(ids[1], ids[2])
+	splice(al, a.sym(), b)
+	switch {
+	case ccw(al, ids[0], ids[1], ids[2]):
+		connect(al, b, a)
+		return a, b.sym()
+	case ccw(al, ids[0], ids[2], ids[1]):
+		c := connect(al, b, a)
+		return c.sym(), c
+	default: // collinear
+		return a, b.sym()
+	}
+}
+
+// delaunaySeq is the sequential divide and conquer (the reference path).
+func delaunaySeq(al algebra, ids []int32) (edgeRef, edgeRef) {
+	if len(ids) <= 3 {
+		return delaunayBase(al, ids)
+	}
+	m := len(ids) / 2
+	ldo, ldi := delaunaySeq(al, ids[:m])
+	rdi, rdo := delaunaySeq(al, ids[m:])
+	return delaunayMerge(al, ldo, ldi, rdi, rdo)
+}

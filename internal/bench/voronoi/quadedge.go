@@ -1,0 +1,192 @@
+// Package voronoi implements the Voronoi benchmark: the classic
+// divide-and-conquer construction of the Delaunay triangulation (the
+// Voronoi diagram's dual) with Guibas & Stolfi's quad-edge structure
+// (paper Table 1: 64K points).
+//
+// Heuristic choice (Table 2: M+C): the divide recursion follows the point
+// set (migration); the merge phase walks along the convex hulls of both
+// sub-diagrams, "alternating between them in an irregular fashion", so the
+// heuristic pins the merge on the processor owning one subresult and
+// caches the other. The paper notes migrate-only collapses to 0.47 at 32
+// processors (the thread ping-pongs), while a hand-tuned
+// traverse-one/cache-other version reaches over 12 — the heuristic's
+// choice lands at 8.76.
+//
+// The algorithm is written once over a small "edge algebra" interface and
+// executed against two backends — plain Go slices (the sequential
+// reference) and the distributed heap — so both runs perform bit-identical
+// geometry in the same order.
+package voronoi
+
+import (
+	"repro/internal/gaddr"
+	"repro/internal/rt"
+)
+
+// edgeRef is a directed quad-edge reference: a record handle shifted left
+// twice plus the rotation (0..3). The zero value is nil.
+type edgeRef uint64
+
+func (e edgeRef) rot() edgeRef    { return e&^3 | (e+1)&3 }
+func (e edgeRef) sym() edgeRef    { return e&^3 | (e+2)&3 }
+func (e edgeRef) invrot() edgeRef { return e&^3 | (e+3)&3 }
+func (e edgeRef) r() int          { return int(e & 3) }
+
+// algebra is what the divide-and-conquer needs from an edge store: quarter
+// onext pointers, org point ids on the primal quarters, point coordinates,
+// and cost accounting.
+type algebra interface {
+	makeEdge(org, dst int32) edgeRef
+	free(e edgeRef) // deleteEdge bookkeeping (records are not reused)
+	onext(e edgeRef) edgeRef
+	setOnext(e, v edgeRef)
+	org(e edgeRef) int32
+	pt(i int32) (x, y float64)
+	work(cycles int64)
+	// alive enumerates live records as (org, dest) pairs for checksums.
+	alive() [][2]int32
+}
+
+// --- plain-Go backend -------------------------------------------------
+
+// memQuarter is one of a record's four directed edges.
+type memQuarter struct {
+	next edgeRef
+	data int32
+}
+
+type memAlg struct {
+	px, py []float64
+	recs   [][4]memQuarter
+	dead   []bool
+}
+
+func newMemAlg(px, py []float64) *memAlg {
+	// Record 0 is reserved so edgeRef 0 stays nil.
+	return &memAlg{px: px, py: py, recs: make([][4]memQuarter, 1), dead: []bool{true}}
+}
+
+func (m *memAlg) makeEdge(org, dst int32) edgeRef {
+	id := edgeRef(len(m.recs)) << 2
+	var rec [4]memQuarter
+	rec[0].next = id
+	rec[1].next = id.invrot()
+	rec[2].next = id.sym()
+	rec[3].next = id.rot()
+	rec[0].data = org
+	rec[2].data = dst
+	m.recs = append(m.recs, rec)
+	m.dead = append(m.dead, false)
+	return id
+}
+
+func (m *memAlg) free(e edgeRef)            { m.dead[e>>2] = true }
+func (m *memAlg) onext(e edgeRef) edgeRef   { return m.recs[e>>2][e.r()].next }
+func (m *memAlg) setOnext(e, v edgeRef)     { m.recs[e>>2][e.r()].next = v }
+func (m *memAlg) org(e edgeRef) int32       { return m.recs[e>>2][e.r()].data }
+func (m *memAlg) pt(i int32) (x, y float64) { return m.px[i], m.py[i] }
+func (m *memAlg) work(int64)                {}
+
+func (m *memAlg) alive() [][2]int32 {
+	var out [][2]int32
+	for i := 1; i < len(m.recs); i++ {
+		if m.dead[i] {
+			continue
+		}
+		out = append(out, [2]int32{m.recs[i][0].data, m.recs[i][2].data})
+	}
+	return out
+}
+
+// --- distributed-heap backend ------------------------------------------
+//
+// A quad-edge record is exactly one 64-byte cache line: four quarters of
+// (onext word, data word). Points are 16-byte records. Both are reached
+// through a caching site during merges; new edges are allocated on the
+// thread's current processor, so each subproblem's edges live with it.
+
+const (
+	edgeRecSz  = 64
+	pointRecSz = 16
+)
+
+// heapStore is the shared edge store; the virtual-time scheduler runs one
+// thread at a time with real synchronization on every hand-off, so the
+// plain slices are safe and allocation order is deterministic.
+type heapStore struct {
+	site *rt.Site
+	pts  []gaddr.GP
+	recs []gaddr.GP // record handle -> heap record
+	dead []bool
+	orgs [][2]int32 // mirror of (org,dest) per record for checksums
+}
+
+// heapAlg binds the shared store to one thread (each future body gets its
+// own binding).
+type heapAlg struct {
+	st *heapStore
+	t  *rt.Thread
+}
+
+func newHeapStore(site *rt.Site, pts []gaddr.GP) *heapStore {
+	return &heapStore{
+		site: site, pts: pts,
+		recs: make([]gaddr.GP, 1), dead: []bool{true}, orgs: make([][2]int32, 1),
+	}
+}
+
+func (st *heapStore) bind(t *rt.Thread) *heapAlg { return &heapAlg{st: st, t: t} }
+
+func qOff(e edgeRef) uint32     { return uint32(e.r() * 16) }
+func qDataOff(e edgeRef) uint32 { return uint32(e.r()*16 + 8) }
+
+func (h *heapAlg) makeEdge(org, dst int32) edgeRef {
+	st := h.st
+	g := h.t.Alloc(h.t.Loc(), edgeRecSz)
+	id := edgeRef(len(st.recs)) << 2
+	st.recs = append(st.recs, g)
+	st.dead = append(st.dead, false)
+	st.orgs = append(st.orgs, [2]int32{org, dst})
+	h.t.StoreWord(st.site, g, qOff(id), uint64(id))
+	h.t.StoreWord(st.site, g, qOff(id.rot()), uint64(id.invrot()))
+	h.t.StoreWord(st.site, g, qOff(id.sym()), uint64(id.sym()))
+	h.t.StoreWord(st.site, g, qOff(id.invrot()), uint64(id.rot()))
+	h.t.StoreWord(st.site, g, qDataOff(id), uint64(uint32(org)))
+	h.t.StoreWord(st.site, g, qDataOff(id.sym()), uint64(uint32(dst)))
+	return id
+}
+
+func (h *heapAlg) free(e edgeRef) { h.st.dead[e>>2] = true }
+
+func (h *heapAlg) onext(e edgeRef) edgeRef {
+	return edgeRef(h.t.LoadWord(h.st.site, h.st.recs[e>>2], qOff(e)))
+}
+
+func (h *heapAlg) setOnext(e, v edgeRef) {
+	h.t.StoreWord(h.st.site, h.st.recs[e>>2], qOff(e), uint64(v))
+}
+
+func (h *heapAlg) org(e edgeRef) int32 {
+	return int32(uint32(h.t.LoadWord(h.st.site, h.st.recs[e>>2], qDataOff(e))))
+}
+
+func (h *heapAlg) pt(i int32) (x, y float64) {
+	g := h.st.pts[i]
+	return h.t.LoadFloat(h.st.site, g, 0), h.t.LoadFloat(h.st.site, g, 8)
+}
+
+func (h *heapAlg) work(cycles int64) { h.t.Work(cycles) }
+
+func (h *heapAlg) alive() [][2]int32 {
+	var out [][2]int32
+	for i := 1; i < len(h.st.recs); i++ {
+		if h.st.dead[i] {
+			continue
+		}
+		out = append(out, h.st.orgs[i])
+	}
+	return out
+}
+
+var _ algebra = (*memAlg)(nil)
+var _ algebra = (*heapAlg)(nil)

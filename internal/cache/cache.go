@@ -1,0 +1,232 @@
+// Package cache implements Olden's software cache (paper §3.2, Figure 1).
+//
+// Each processor uses its local memory as a large, fully-associative,
+// write-through cache. Allocation is at the page level (2 KB) and transfer
+// at the line level (64 bytes). Because the CM-5 gives no virtual-memory
+// support, translation uses a 1024-bucket hash table with a list of pages
+// kept in each bucket; each entry carries a tag (the local copy) and one
+// valid bit per line — 32 bits per page with the paper's geometry.
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/gaddr"
+)
+
+// NumBuckets is the size of the translation hash table ("a 1K hash table
+// with a list of pages kept in each bucket").
+const NumBuckets = 1024
+
+// Entry is one cached page: the tag used to translate global to local
+// pointers, the per-line valid bits, and — for the coherence schemes of
+// Appendix A — a staleness mark and the home timestamp at last sync.
+type Entry struct {
+	Page  gaddr.PageID
+	Valid uint32 // bit i set ⇒ line i holds current data
+	Stale bool   // bilateral scheme: must timestamp-check before next use
+	Stamp uint32 // bilateral scheme: home page timestamp at last sync
+	Data  []uint64
+	next  *Entry
+}
+
+// Cache is one processor's software cache. It is internally synchronized:
+// several logical threads may occupy the same processor concurrently in
+// real time even though they serialize in virtual time.
+type Cache struct {
+	mu      sync.Mutex
+	buckets [NumBuckets]*Entry
+	entries int
+	allocs  int64 // pages ever allocated (Table 3 "Total Pages Cached")
+}
+
+// New returns an empty cache.
+func New() *Cache { return &Cache{} }
+
+func bucketOf(p gaddr.PageID) int {
+	v := uint32(p) / gaddr.PageBytes
+	return int((v ^ v>>10 ^ v>>20) % NumBuckets)
+}
+
+func (c *Cache) find(p gaddr.PageID) *Entry {
+	for e := c.buckets[bucketOf(p)]; e != nil; e = e.next {
+		if e.Page == p {
+			return e
+		}
+	}
+	return nil
+}
+
+// Probe looks up the page containing g, allocating an entry if the page is
+// not present. It reports whether the page was newly allocated and whether
+// the line containing g is valid. The entry's Stale flag is returned so the
+// caller can run the bilateral scheme's timestamp check before trusting
+// valid bits.
+func (c *Cache) Probe(g gaddr.GP) (e *Entry, pageNew, lineValid bool) {
+	p := gaddr.PageOf(g)
+	line := gaddr.LineOf(g)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e = c.find(p)
+	if e == nil {
+		e = &Entry{Page: p, Data: make([]uint64, gaddr.WordsPerPage)}
+		b := bucketOf(p)
+		e.next = c.buckets[b]
+		c.buckets[b] = e
+		c.entries++
+		c.allocs++
+		pageNew = true
+	}
+	lineValid = e.Valid&(1<<uint(line)) != 0
+	return e, pageNew, lineValid
+}
+
+// LineState reads an entry's valid bit for one line and its staleness mark
+// under the cache lock (entries are shared between threads occupying the
+// processor).
+func (c *Cache) LineState(e *Entry, line int) (valid, stale bool) {
+	c.mu.Lock()
+	valid = e.Valid&(1<<uint(line)) != 0
+	stale = e.Stale
+	c.mu.Unlock()
+	return valid, stale
+}
+
+// InstallLine copies a fetched 64-byte line into the entry and marks it
+// valid.
+func (c *Cache) InstallLine(e *Entry, line int, words []uint64) {
+	c.mu.Lock()
+	copy(e.Data[line*gaddr.WordsPerLine:(line+1)*gaddr.WordsPerLine], words)
+	e.Valid |= 1 << uint(line)
+	c.mu.Unlock()
+}
+
+// ReadWord reads the word at byte offset pageOff within the cached page.
+func (c *Cache) ReadWord(e *Entry, pageOff uint32) uint64 {
+	c.mu.Lock()
+	v := e.Data[pageOff/gaddr.WordBytes]
+	c.mu.Unlock()
+	return v
+}
+
+// WriteWord updates the local copy (the home copy is updated separately by
+// the write-through).
+func (c *Cache) WriteWord(e *Entry, pageOff uint32, v uint64) {
+	c.mu.Lock()
+	e.Data[pageOff/gaddr.WordBytes] = v
+	c.mu.Unlock()
+}
+
+// InvalidateAll clears every valid bit (local-knowledge scheme: "each
+// processor invalidates its entire cache upon receiving a migration").
+// Page entries stay allocated so hash chains stay short and the pages-
+// cached statistic is cumulative.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	for b := range c.buckets {
+		for e := c.buckets[b]; e != nil; e = e.next {
+			e.Valid = 0
+			e.Stale = false
+		}
+	}
+	c.mu.Unlock()
+}
+
+// InvalidateHomes clears valid bits of every line whose page is homed on a
+// processor named in procMask (bit p set ⇒ processor p). This is the
+// refined local-knowledge rule for returns: "we need only invalidate cached
+// copies of lines from processors whose memories have been written by the
+// returning thread."
+func (c *Cache) InvalidateHomes(procMask uint64) {
+	c.mu.Lock()
+	for b := range c.buckets {
+		for e := c.buckets[b]; e != nil; e = e.next {
+			if procMask&(1<<uint(e.Page.Proc())) != 0 {
+				e.Valid = 0
+				e.Stale = false
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// InvalidateLines clears the given lines of one page if it is cached
+// (global-knowledge scheme invalidation message). It reports whether the
+// page was present.
+func (c *Cache) InvalidateLines(p gaddr.PageID, lineMask uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.find(p)
+	if e == nil {
+		return false
+	}
+	e.Valid &^= lineMask
+	return true
+}
+
+// MarkAllStale marks every cached page stale (bilateral scheme: "on
+// receiving a migration, a processor marks all of its pages, so that they
+// miss on the first access").
+func (c *Cache) MarkAllStale() {
+	c.mu.Lock()
+	for b := range c.buckets {
+		for e := c.buckets[b]; e != nil; e = e.next {
+			if e.Valid != 0 {
+				e.Stale = true
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Refresh completes a bilateral timestamp check: lines written at home
+// since the entry's stamp are invalidated, the stamp advances, and the
+// staleness mark clears.
+func (c *Cache) Refresh(e *Entry, changed uint32, newStamp uint32) {
+	c.mu.Lock()
+	e.Valid &^= changed
+	e.Stamp = newStamp
+	e.Stale = false
+	c.mu.Unlock()
+}
+
+// Clear drops every entry (used between benchmark phases).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	for b := range c.buckets {
+		c.buckets[b] = nil
+	}
+	c.entries = 0
+	c.mu.Unlock()
+}
+
+// Entries returns the number of live page entries.
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries
+}
+
+// PagesAllocated returns the cumulative number of page entries allocated.
+func (c *Cache) PagesAllocated() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocs
+}
+
+// AvgChainLength returns the mean hash-chain length over non-empty buckets;
+// the paper reports this is approximately one in practice.
+func (c *Cache) AvgChainLength() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	used := 0
+	for b := range c.buckets {
+		if c.buckets[b] != nil {
+			used++
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return float64(c.entries) / float64(used)
+}

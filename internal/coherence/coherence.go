@@ -1,0 +1,277 @@
+// Package coherence implements the three cache-coherence schemes of the
+// paper's Appendix A on top of the software cache:
+//
+//   - LocalKnowledge — the scheme used in the main text: each processor
+//     invalidates its entire cache on receiving a migration; on receiving a
+//     *return*, it invalidates only lines homed on processors the returning
+//     thread wrote. No coherence messages at all.
+//   - GlobalKnowledge — an adaptation of eager release consistency: the
+//     compiler tracks writes at line granularity (a dirty-bit vector per
+//     page); the home tracks sharers at page granularity; each outgoing
+//     migration (a release) sends line-grained invalidations to the sharers
+//     and collects acknowledgements.
+//   - Bilateral — no sharer tracking; the home keeps a timestamp per page,
+//     bumped at each release that wrote the page. A migration receive marks
+//     all cached pages stale; the first access to a stale page asks the
+//     home which lines changed since the cached timestamp.
+//
+// All three provide release consistency with respect to Olden's "virtual
+// locks" (one per migration), which — given that futures guarantee
+// non-interference — yields the same semantics as sequential consistency.
+package coherence
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/gaddr"
+	"repro/internal/machine"
+)
+
+// Kind selects one of the three schemes.
+type Kind int
+
+const (
+	// LocalKnowledge is the paper's default scheme (fastest overall).
+	LocalKnowledge Kind = iota
+	// GlobalKnowledge is eager release consistency with sharer tracking.
+	GlobalKnowledge
+	// Bilateral combines local and global knowledge via timestamps.
+	Bilateral
+)
+
+// String names the scheme as in Table 3.
+func (k Kind) String() string {
+	switch k {
+	case LocalKnowledge:
+		return "local"
+	case GlobalKnowledge:
+		return "global"
+	case Bilateral:
+		return "bilateral"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// TracksWrites reports whether the scheme pays per-write tracking overhead
+// (Appendix A: 7 instructions for non-shared pages, 23 for shared).
+func (k Kind) TracksWrites() bool { return k != LocalKnowledge }
+
+// pageDir is the home-side state for one page.
+type pageDir struct {
+	sharers    uint64                     // processors caching the page (global)
+	stamp      uint32                     // page timestamp (bilateral)
+	lineStamp  [gaddr.LinesPerPage]uint32 // stamp at each line's last release-write (bilateral)
+	everCached bool                       // page has been cached by someone ⇒ "shared"
+}
+
+// directory is one processor's home-side page table.
+type directory struct {
+	mu    sync.Mutex
+	pages map[gaddr.PageID]*pageDir
+}
+
+func (d *directory) get(p gaddr.PageID) *pageDir {
+	pd := d.pages[p]
+	if pd == nil {
+		pd = &pageDir{}
+		d.pages[p] = pd
+	}
+	return pd
+}
+
+// DirtySet is the writer-side write-tracking state a thread accumulates
+// between releases: for each page written, the mask of dirtied lines.
+type DirtySet map[gaddr.PageID]uint32
+
+// Add records a write to the line containing g.
+func (ds DirtySet) Add(g gaddr.GP) {
+	ds[gaddr.PageOf(g)] |= 1 << uint(gaddr.LineOf(g))
+}
+
+// Engine runs one coherence scheme for a whole machine.
+type Engine struct {
+	kind   Kind
+	m      *machine.Machine
+	caches []*cache.Cache
+	dirs   []*directory
+}
+
+// New wires an engine to the machine and the per-processor caches
+// (caches[i] belongs to processor i).
+func New(kind Kind, m *machine.Machine, caches []*cache.Cache) *Engine {
+	if len(caches) != m.P() {
+		panic("coherence: one cache per processor required")
+	}
+	e := &Engine{kind: kind, m: m, caches: caches}
+	for i := 0; i < m.P(); i++ {
+		e.dirs = append(e.dirs, &directory{pages: map[gaddr.PageID]*pageDir{}})
+	}
+	return e
+}
+
+// Kind returns the scheme in use.
+func (e *Engine) Kind() Kind { return e.kind }
+
+// RegisterSharer records, at the page's home, that processor sharer now
+// caches the page. Called on every line fetch.
+func (e *Engine) RegisterSharer(p gaddr.PageID, sharer int) {
+	d := e.dirs[p.Proc()]
+	d.mu.Lock()
+	pd := d.get(p)
+	pd.everCached = true
+	if e.kind == GlobalKnowledge {
+		pd.sharers |= 1 << uint(sharer)
+	}
+	d.mu.Unlock()
+}
+
+// WriteTrackCost returns the per-write instrumentation cost for a write to
+// the page containing g: zero for local knowledge, else 7 cycles for a
+// non-shared page and 23 for a shared one.
+func (e *Engine) WriteTrackCost(g gaddr.GP) int64 {
+	if !e.kind.TracksWrites() {
+		return 0
+	}
+	p := gaddr.PageOf(g)
+	d := e.dirs[p.Proc()]
+	d.mu.Lock()
+	pd := d.pages[p]
+	shared := pd != nil && pd.everCached
+	d.mu.Unlock()
+	if shared {
+		return e.m.Cost.WriteTrackShared
+	}
+	return e.m.Cost.WriteTrackNonShared
+}
+
+// OnRelease runs the release half of the protocol when a thread leaves a
+// processor (forward migration or return). It consumes the thread's dirty
+// set and returns the thread's new clock.
+func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
+	switch e.kind {
+	case GlobalKnowledge:
+		for p, mask := range dirty {
+			d := e.dirs[p.Proc()]
+			d.mu.Lock()
+			pd := d.pages[p]
+			var sharers uint64
+			if pd != nil {
+				// Sharing is tracked per page, so sharers stay
+				// registered even after an invalidation: they may
+				// still hold valid copies of *other* lines. (This
+				// is why the paper notes the scheme "could cause
+				// some spurious invalidation messages".)
+				sharers = pd.sharers
+			}
+			d.mu.Unlock()
+			sent := false
+			for s := 0; s < e.m.P(); s++ {
+				if s == src || sharers&(1<<uint(s)) == 0 {
+					continue
+				}
+				e.caches[s].InvalidateLines(p, mask)
+				// Processing the invalidation occupies the sharer.
+				e.m.Procs[s].Occupy(now, e.m.Cost.InvalidateMsg)
+				e.m.Stats.Invalidations.Add(1)
+				sent = true
+			}
+			if sent {
+				// The release completes only after acknowledgements
+				// are collected.
+				now += e.m.Cost.InvalidateAck
+			}
+		}
+	case Bilateral:
+		for p, mask := range dirty {
+			d := e.dirs[p.Proc()]
+			d.mu.Lock()
+			pd := d.get(p)
+			pd.stamp++
+			for l := 0; l < gaddr.LinesPerPage; l++ {
+				if mask&(1<<uint(l)) != 0 {
+					pd.lineStamp[l] = pd.stamp
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+	return now
+}
+
+// OnAcquire runs the acquire half when a thread arrives at processor dst.
+// isReturn selects the refined local-knowledge rule; writtenProcs is the
+// set (bitmask) of processors whose memories the returning thread wrote.
+// It returns the thread's new clock.
+func (e *Engine) OnAcquire(dst int, now int64, isReturn bool, writtenProcs uint64) int64 {
+	switch e.kind {
+	case LocalKnowledge:
+		if isReturn {
+			if writtenProcs != 0 {
+				e.caches[dst].InvalidateHomes(writtenProcs)
+				now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
+			}
+		} else {
+			e.caches[dst].InvalidateAll()
+			e.m.Stats.FullFlushes.Add(1)
+			now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
+		}
+	case GlobalKnowledge:
+		// Invalidations were pushed eagerly at the release.
+	case Bilateral:
+		e.caches[dst].MarkAllStale()
+		now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
+	}
+	return now
+}
+
+// StaleCheck performs the bilateral scheme's timestamp round trip for a
+// stale entry cached at processor requester: it asks the home which lines
+// changed since the entry's stamp, refreshes the entry, and returns the
+// thread's new clock. The home service occupies the home processor.
+func (e *Engine) StaleCheck(entry *cache.Entry, requester int, now int64) int64 {
+	if e.kind != Bilateral {
+		panic("coherence: StaleCheck outside the bilateral scheme")
+	}
+	p := entry.Page
+	home := e.m.Procs[p.Proc()]
+	now += e.m.Cost.StampRequest
+	now = home.Occupy(now, e.m.Cost.StampService)
+	d := e.dirs[p.Proc()]
+	d.mu.Lock()
+	pd := d.get(p)
+	var changed uint32
+	for l := 0; l < gaddr.LinesPerPage; l++ {
+		if pd.lineStamp[l] > entry.Stamp {
+			changed |= 1 << uint(l)
+		}
+	}
+	newStamp := pd.stamp
+	d.mu.Unlock()
+	e.caches[requester].Refresh(entry, changed, newStamp)
+	e.m.Stats.StampChecks.Add(1)
+	return now + e.m.Cost.StampReply
+}
+
+// Sharers reports the home-side sharer mask for a page (testing aid).
+func (e *Engine) Sharers(p gaddr.PageID) uint64 {
+	d := e.dirs[p.Proc()]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pd := d.pages[p]; pd != nil {
+		return pd.sharers
+	}
+	return 0
+}
+
+// Stamp reports the home-side timestamp for a page (testing aid).
+func (e *Engine) Stamp(p gaddr.PageID) uint32 {
+	d := e.dirs[p.Proc()]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pd := d.pages[p]; pd != nil {
+		return pd.stamp
+	}
+	return 0
+}

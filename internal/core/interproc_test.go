@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// The interprocedural return-path extension (the paper's stated future
+// work): accessor helpers contribute their field paths.
+const accessorSrc = `
+struct node {
+  struct node *next __affinity(95);
+  struct node *skip __affinity(40);
+};
+
+struct node * advance(struct node *p) {
+  return p->next;
+}
+
+struct node * hop(struct node *p) {
+  if (p == NULL) return NULL;
+  return p->next->next;
+}
+
+struct node * either(struct node *p, int c) {
+  if (c > 0) return p->next;
+  return p->skip;
+}
+
+void walk(struct node *s) {
+  while (s) {
+    s = advance(s);
+  }
+}
+
+void walk2(struct node *s) {
+  while (s) {
+    s = hop(s);
+  }
+}
+
+void walkE(struct node *s) {
+  while (s) {
+    s = either(s, 1);
+  }
+}
+`
+
+func analyzeIP(t *testing.T, src string) *Report {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.InterproceduralReturns = true
+	return Analyze(prog, p)
+}
+
+func TestReturnPathSummaries(t *testing.T) {
+	r := analyzeIP(t, accessorSrc)
+
+	// walk: s = advance(s) is s ← s along next (95%) ⇒ migrate.
+	l := r.FindLoop("walk/while")
+	if aff, ok := l.Matrix.Diagonal("s"); !ok || !approx(aff, 0.95) {
+		t.Fatalf("walk (s,s) = %v,%v; want 95%% through advance()", aff, ok)
+	}
+	if l.Mech != ChooseMigrate {
+		t.Fatal("walk must migrate s")
+	}
+
+	// walk2: hop() is two next hops ⇒ 0.95² ≈ 90.25%.
+	l2 := r.FindLoop("walk2/while")
+	if aff, ok := l2.Matrix.Diagonal("s"); !ok || !approx(aff, 0.95*0.95) {
+		t.Fatalf("walk2 (s,s) = %v,%v; want 90.25%%", aff, ok)
+	}
+
+	// walkE: either() averages its two return paths: (95+40)/2 = 67.5%
+	// ⇒ cache.
+	lE := r.FindLoop("walkE/while")
+	if aff, ok := lE.Matrix.Diagonal("s"); !ok || !approx(aff, 0.675) {
+		t.Fatalf("walkE (s,s) = %v,%v; want 67.5%%", aff, ok)
+	}
+	if lE.Mech != ChooseCache {
+		t.Fatal("walkE must cache s")
+	}
+}
+
+func TestReturnPathsOffByDefault(t *testing.T) {
+	prog, err := lang.Parse(accessorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(prog, DefaultParams())
+	l := r.FindLoop("walk/while")
+	if _, ok := l.Matrix.Diagonal("s"); ok {
+		t.Fatal("the paper's preliminary analysis does not consider return values")
+	}
+}
+
+func TestReturnPathRejections(t *testing.T) {
+	r := analyzeIP(t, `
+struct node { struct node *next; };
+
+struct node * self(struct node *p) { return self(p->next); }
+
+struct node * two(struct node *p, struct node *q, int c) {
+  if (c > 0) return p->next;
+  return q->next;
+}
+
+void w1(struct node *s) { while (s) { s = self(s); } }
+void w2(struct node *s, struct node *o) { while (s) { s = two(s, o, 1); } }
+`)
+	// Recursive functions are not summarized.
+	if _, ok := r.FindLoop("w1/while").Matrix.Diagonal("s"); ok {
+		t.Fatal("recursive callee must not be summarized")
+	}
+	// Returns deriving from different parameters are rejected.
+	if _, ok := r.FindLoop("w2/while").Matrix.Diagonal("s"); ok {
+		t.Fatal("mixed-parameter returns must not be summarized")
+	}
+}
+
+func TestReturnPathNullBranchIgnored(t *testing.T) {
+	// NULL base cases do not block summarization (like TreeAdd's base
+	// case not blocking the recursion analysis).
+	r := analyzeIP(t, `
+struct node { struct node *next __affinity(95); };
+struct node * safeNext(struct node *p) {
+  if (p == NULL) return NULL;
+  return p->next;
+}
+void w(struct node *s) { while (s) { s = safeNext(s); } }
+`)
+	if aff, ok := r.FindLoop("w/while").Matrix.Diagonal("s"); !ok || !approx(aff, 0.95) {
+		t.Fatalf("(s,s) = %v,%v; NULL branch must not block the summary", aff, ok)
+	}
+}
+
+func TestReturnPathsDoNotChangeBenchmarkKernels(t *testing.T) {
+	// The extension must not flip any of the figure programs' choices.
+	for _, src := range []string{figure3, figure4, figure5, defaultsSrc} {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		p.InterproceduralReturns = true
+		withExt := Analyze(prog, p)
+		base := Analyze(prog, DefaultParams())
+		if withExt.UsesMigrationOnly() != base.UsesMigrationOnly() {
+			t.Fatal("extension flipped a figure program's classification")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// LoopKind distinguishes the two flavours of control loop (§4.2: "loops and
+// recursive calls, hereafter referred to as control loops").
+type LoopKind int
+
+const (
+	// SyntacticLoop is a while or for loop.
+	SyntacticLoop LoopKind = iota
+	// RecursionLoop is the control loop formed by a function's recursive
+	// calls.
+	RecursionLoop
+)
+
+// Mechanism is the compile-time choice for a dereference.
+type Mechanism int
+
+const (
+	// ChooseMigrate selects computation migration.
+	ChooseMigrate Mechanism = iota
+	// ChooseCache selects software caching.
+	ChooseCache
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	if m == ChooseMigrate {
+		return "migrate"
+	}
+	return "cache"
+}
+
+// Loop is one control loop in the report tree. Call-expanded nodes
+// (a callee's loop appearing inside a caller's loop) carry the argument
+// binding used by the bottleneck pass.
+type Loop struct {
+	Kind     LoopKind
+	Fn       *lang.FuncDecl
+	Label    string
+	Parent   *Loop
+	Children []*Loop
+
+	Matrix   Matrix
+	Parallel bool
+
+	// Selection results (pass 1 + pass 2).
+	Var        string    // the variable the loop's choice applies to
+	Mech       Mechanism // mechanism for Var's dereferences
+	Affinity   float64   // the winning update affinity (0 when inherited)
+	Inherited  bool      // no induction variable: inherited parent's
+	Bottleneck bool      // demoted to caching by the bottleneck pass
+	// DemotedByContext marks an original loop some call instance of
+	// which was demoted by the bottleneck pass: the compiled site must
+	// take the conservative (caching) choice.
+	DemotedByContext bool
+
+	// origin points from a call instance back to the loop it clones.
+	origin *Loop
+
+	// ArgBase maps the callee's parameters to the base variable of the
+	// argument expression at the call site (call-expanded nodes only).
+	ArgBase map[string]string
+
+	// bodyStmt is the loop body (syntactic loops only); the recursion
+	// loop's "body" is the whole function body.
+	bodyStmt lang.Stmt
+}
+
+// IsParallelizable reports whether a statement subtree contains a
+// futurecall outside any nested syntactic loop (nested loops are their own
+// control loops).
+func containsFuture(s lang.Stmt) bool {
+	found := false
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Call:
+			if e.Future {
+				found = true
+			}
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *lang.Arrow:
+			walkExpr(e.X)
+		case *lang.Binary:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *lang.Unary:
+			walkExpr(e.X)
+		case *lang.Touch:
+			walkExpr(e.E)
+		}
+	}
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			if s.Init != nil {
+				walkExpr(s.Init)
+			}
+		case *lang.Assign:
+			walkExpr(s.RHS)
+		case *lang.If:
+			walkExpr(s.Cond)
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.Return:
+			if s.E != nil {
+				walkExpr(s.E)
+			}
+		case *lang.ExprStmt:
+			walkExpr(s.E)
+		case *lang.While, *lang.For:
+			// nested control loops are separate
+		}
+	}
+	walk(s)
+	return found
+}
+
+// isRecursive reports whether f calls itself.
+func isRecursive(f *lang.FuncDecl) bool {
+	found := false
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Call:
+			if e.Name == f.Name {
+				found = true
+			}
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *lang.Arrow:
+			walkExpr(e.X)
+		case *lang.Binary:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *lang.Unary:
+			walkExpr(e.X)
+		case *lang.Touch:
+			walkExpr(e.E)
+		}
+	}
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			if s.Init != nil {
+				walkExpr(s.Init)
+			}
+		case *lang.Assign:
+			walkExpr(s.RHS)
+		case *lang.If:
+			walkExpr(s.Cond)
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walkExpr(s.Cond)
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond)
+			}
+			if s.Post != nil {
+				walk(s.Post)
+			}
+			walk(s.Body)
+		case *lang.Return:
+			if s.E != nil {
+				walkExpr(s.E)
+			}
+		case *lang.ExprStmt:
+			walkExpr(s.E)
+		}
+	}
+	walk(f.Body)
+	return found
+}
+
+// buildFuncLoops builds the control-loop tree of one function: an optional
+// recursion loop at the root, syntactic loops nested per the source.
+func (a *analysis) buildFuncLoops() []*Loop {
+	var top []*Loop
+	var rec *Loop
+	if isRecursive(a.fn) {
+		rec = &Loop{
+			Kind:     RecursionLoop,
+			Fn:       a.fn,
+			Label:    a.fn.Name + "/rec",
+			Matrix:   a.recursionMatrix(),
+			Parallel: containsFuture(a.fn.Body),
+		}
+		top = append(top, rec)
+	}
+	var walk func(s lang.Stmt, parent *Loop)
+	attach := func(l *Loop, parent *Loop) {
+		l.Parent = parent
+		if parent != nil {
+			parent.Children = append(parent.Children, l)
+		} else {
+			top = append(top, l)
+		}
+	}
+	walk = func(s lang.Stmt, parent *Loop) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st, parent)
+			}
+		case *lang.If:
+			walk(s.Then, parent)
+			if s.Else != nil {
+				walk(s.Else, parent)
+			}
+		case *lang.While:
+			l := &Loop{
+				Kind:     SyntacticLoop,
+				Fn:       a.fn,
+				Label:    fmt.Sprintf("%s/while@%s", a.fn.Name, s.Pos),
+				Matrix:   a.loopMatrix(s.Body, nil),
+				Parallel: containsFuture(s.Body),
+				bodyStmt: s.Body,
+			}
+			attach(l, parent)
+			walk(s.Body, l)
+		case *lang.For:
+			l := &Loop{
+				Kind:     SyntacticLoop,
+				Fn:       a.fn,
+				Label:    fmt.Sprintf("%s/for@%s", a.fn.Name, s.Pos),
+				Matrix:   a.loopMatrix(s.Body, s.Post),
+				Parallel: containsFuture(s.Body),
+				bodyStmt: s.Body,
+			}
+			attach(l, parent)
+			walk(s.Body, l)
+		}
+	}
+	walk(a.fn.Body, rec)
+	return top
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FuncLoops returns the top-level control loops of a function, or nil.
+func (r *Report) FuncLoops(fn string) []*Loop {
+	for _, fr := range r.Funcs {
+		if fr.Fn.Name == fn {
+			return fr.Loops
+		}
+	}
+	return nil
+}
+
+// FindLoop returns the first loop (depth-first over the whole report) whose
+// label has the given prefix, or nil. Labels look like "TreeAdd/rec" or
+// "Walk/while@4:3".
+func (r *Report) FindLoop(prefix string) *Loop {
+	var find func(l *Loop) *Loop
+	find = func(l *Loop) *Loop {
+		if strings.HasPrefix(l.Label, prefix) {
+			return l
+		}
+		for _, c := range l.Children {
+			if m := find(c); m != nil {
+				return m
+			}
+		}
+		return nil
+	}
+	for _, fr := range r.Funcs {
+		for _, l := range fr.Loops {
+			if m := find(l); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// MechanismOf reports the selected mechanism for variable v inside the
+// first loop matching the label prefix: the loop's migration variable
+// migrates, everything else caches.
+func (r *Report) MechanismOf(loopPrefix, v string) Mechanism {
+	l := r.FindLoop(loopPrefix)
+	if l == nil {
+		return ChooseCache
+	}
+	if l.Mech == ChooseMigrate && l.Var == v {
+		return ChooseMigrate
+	}
+	return ChooseCache
+}
+
+// SitesString renders the per-dereference-site mechanism assignment — the
+// view of the analysis closest to what the compiler would emit.
+func (r *Report) SitesString() string {
+	var sb strings.Builder
+	last := ""
+	for _, s := range r.DerefSites() {
+		if s.Fn != last {
+			fmt.Fprintf(&sb, "function %s:\n", s.Fn)
+			last = s.Fn
+		}
+		loop := s.Loop
+		if loop == "" {
+			loop = "(top level)"
+		}
+		fmt.Fprintf(&sb, "  %-8s deref of %-12s at %-8s in %s\n", s.Mech, s.Base, s.Pos, loop)
+	}
+	return sb.String()
+}
+
+// UsesMigrationOnly reports whether every dereference site in the program
+// was assigned migration — the paper's "M" rows of Table 2 versus "M+C".
+func (r *Report) UsesMigrationOnly() bool {
+	for _, s := range r.DerefSites() {
+		if s.Mech == ChooseCache {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report: per function, the loop tree with update
+// matrices and choices — the output of cmd/oldenc.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, fr := range r.Funcs {
+		if len(fr.Loops) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "function %s:\n", fr.Fn.Name)
+		for _, l := range fr.Loops {
+			writeLoop(&sb, l, 1)
+		}
+	}
+	return sb.String()
+}
+
+func writeLoop(sb *strings.Builder, l *Loop, depth int) {
+	ind := strings.Repeat("  ", depth)
+	kind := "loop"
+	if l.Kind == RecursionLoop {
+		kind = "recursion"
+	}
+	inst := ""
+	if l.ArgBase != nil {
+		inst = " (call instance)"
+	}
+	fmt.Fprintf(sb, "%s%s %s%s", ind, kind, l.Label, inst)
+	if l.Parallel {
+		sb.WriteString(" [parallel]")
+	}
+	sb.WriteString("\n")
+	// Update matrix, rows sorted for stable output.
+	rows := make([]string, 0, len(l.Matrix))
+	for s := range l.Matrix {
+		rows = append(rows, s)
+	}
+	sort.Strings(rows)
+	for _, s := range rows {
+		cols := make([]string, 0, len(l.Matrix[s]))
+		for t := range l.Matrix[s] {
+			cols = append(cols, t)
+		}
+		sort.Strings(cols)
+		for _, t := range cols {
+			fmt.Fprintf(sb, "%s  update %s ← %s  affinity %.0f%%\n", ind, s, t, 100*l.Matrix[s][t])
+		}
+	}
+	switch {
+	case l.Inherited:
+		fmt.Fprintf(sb, "%s  choice: migrate %s (inherited from parent)\n", ind, l.Var)
+	case l.Var == "":
+		fmt.Fprintf(sb, "%s  choice: cache (no induction variable)\n", ind)
+	case l.Bottleneck:
+		fmt.Fprintf(sb, "%s  choice: cache %s (bottleneck inside parallel loop)\n", ind, l.Var)
+	case l.Mech == ChooseMigrate:
+		why := fmt.Sprintf("affinity %.0f%% ≥ threshold", 100*l.Affinity)
+		if l.Parallel {
+			why = "parallelizable"
+		}
+		fmt.Fprintf(sb, "%s  choice: migrate %s (%s)\n", ind, l.Var, why)
+	default:
+		fmt.Fprintf(sb, "%s  choice: cache %s (affinity %.0f%% below threshold)\n", ind, l.Var, 100*l.Affinity)
+	}
+	for _, c := range l.Children {
+		writeLoop(sb, c, depth+1)
+	}
+}

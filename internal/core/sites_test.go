@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func analyzeSrc(t *testing.T, src string) *Report {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(prog, DefaultParams())
+}
+
+func TestDerefSitesAttribution(t *testing.T) {
+	r := analyzeSrc(t, `
+struct tree { int v; struct tree *left __affinity(95); struct tree *right __affinity(95); };
+struct list { int v; struct list *next; };
+
+int Walk(struct tree *t, struct list *l) {
+  int n = t->v;
+  if (t == NULL) return 0;
+  n = n + Walk(t->left, l) + Walk(t->right, l);
+  while (l) {
+    n = n + l->v;
+    l = l->next;
+  }
+  return n;
+}
+`)
+	sites := r.DerefSites()
+	if len(sites) == 0 {
+		t.Fatal("no sites found")
+	}
+	var tMig, lCache int
+	for _, s := range sites {
+		switch {
+		case s.Base == "t" && s.Mech == ChooseMigrate:
+			tMig++
+		case s.Base == "t":
+			t.Errorf("t deref at %s cached; recursion migrates t", s.Pos)
+		case s.Base == "l" && s.Mech == ChooseCache:
+			lCache++
+		case s.Base == "l":
+			t.Errorf("l deref at %s migrates; list walk caches", s.Pos)
+		}
+	}
+	if tMig < 3 || lCache < 2 {
+		t.Fatalf("site counts: t-migrate=%d l-cache=%d", tMig, lCache)
+	}
+}
+
+func TestDerefSitesTopLevelCache(t *testing.T) {
+	r := analyzeSrc(t, `
+struct pt { int x; struct pt *buddy; };
+int f(struct pt *p) { return p->x + p->buddy->x; }
+`)
+	for _, s := range r.DerefSites() {
+		if s.Mech != ChooseCache || s.Loop != "" {
+			t.Fatalf("top-level deref must cache: %+v", s)
+		}
+	}
+}
+
+func TestSitesString(t *testing.T) {
+	r := analyzeSrc(t, `
+struct list { int v; struct list *next; };
+int sum(struct list *l) {
+  int n = 0;
+  while (l) { n = n + l->v; l = l->next; }
+  return n;
+}
+`)
+	out := r.SitesString()
+	for _, want := range []string{"function sum:", "cache", "deref of l", "sum/while"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sites output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindLoopMissing(t *testing.T) {
+	r := analyzeSrc(t, `int f(int x) { return x; }`)
+	if r.FindLoop("nope") != nil {
+		t.Fatal("expected nil for unknown loop")
+	}
+	if r.MechanismOf("nope", "x") != ChooseCache {
+		t.Fatal("unknown loops default to cache")
+	}
+}
+
+func TestMechanismOf(t *testing.T) {
+	r := analyzeSrc(t, `
+struct tree { struct tree *left __affinity(95); struct tree *right __affinity(95); };
+void T(struct tree *t) {
+  if (t == NULL) return;
+  T(t->left);
+  T(t->right);
+}
+`)
+	if r.MechanismOf("T/rec", "t") != ChooseMigrate {
+		t.Fatal("t must migrate in T's recursion")
+	}
+	if r.MechanismOf("T/rec", "other") != ChooseCache {
+		t.Fatal("non-selected variables cache")
+	}
+}
+
+func TestFuncLoops(t *testing.T) {
+	r := analyzeSrc(t, `
+struct l { struct l *next; };
+void f(struct l *a) { while (a) { a = a->next; } }
+`)
+	if got := r.FuncLoops("f"); len(got) != 1 {
+		t.Fatalf("f has %d top-level loops", len(got))
+	}
+	if r.FuncLoops("missing") != nil {
+		t.Fatal("unknown function must return nil")
+	}
+}
+
+func TestNestedLoopMatrixIsolation(t *testing.T) {
+	// A variable assigned in a nested loop is opaque to the outer loop's
+	// matrix.
+	r := analyzeSrc(t, `
+struct l { struct l *next; };
+void f(struct l *a, struct l *b) {
+  while (a) {
+    while (b) { b = b->next; }
+    a = a->next;
+  }
+}
+`)
+	outer := r.FindLoop("f/while@4")
+	if outer == nil {
+		t.Fatal("outer loop not found")
+	}
+	if _, ok := outer.Matrix.Diagonal("b"); ok {
+		t.Fatal("b's inner-loop update must not leak into the outer matrix")
+	}
+	if aff, ok := outer.Matrix.Diagonal("a"); !ok || aff != 0.70 {
+		t.Fatalf("outer a update = %v,%v", aff, ok)
+	}
+}

@@ -1,0 +1,116 @@
+// Package gaddr implements Olden's global heap addresses.
+//
+// A global pointer encodes a pair ⟨processor, local byte offset⟩ in a single
+// 32-bit word, exactly as in the paper (§2): "We view heap addresses as
+// consisting of a pair of a processor name and a local address ⟨p, l⟩. This
+// information is encoded in a single 32-bit word."
+//
+// The top ProcBits bits hold the processor number and the remaining bits the
+// byte offset into that processor's heap section. Offset zero on processor
+// zero is reserved so that GP(0) is the nil pointer.
+package gaddr
+
+import "fmt"
+
+const (
+	// ProcBits is the number of bits reserved for the processor name.
+	// Six bits allow up to 64 processors (the paper evaluates up to 32).
+	ProcBits = 6
+	// OffBits is the number of bits for the local byte offset: 26 bits
+	// give each processor a 64 MB heap section.
+	OffBits = 32 - ProcBits
+	// MaxProcs is the largest machine size encodable in a GP.
+	MaxProcs = 1 << ProcBits
+	// MaxOffset is the exclusive upper bound on local byte offsets.
+	MaxOffset = 1 << OffBits
+	// offMask extracts the offset field.
+	offMask = MaxOffset - 1
+)
+
+// GP is a global heap pointer: processor name in the high bits, local byte
+// offset in the low bits. The zero value is the nil pointer.
+type GP uint32
+
+// Nil is the null global pointer.
+const Nil GP = 0
+
+// Pack builds a global pointer from a processor number and local offset.
+// It panics if either field is out of range: global pointers are built only
+// by the allocator, so a bad field is a runtime bug, not a user error.
+func Pack(proc int, off uint32) GP {
+	if proc < 0 || proc >= MaxProcs {
+		panic(fmt.Sprintf("gaddr: processor %d out of range [0,%d)", proc, MaxProcs))
+	}
+	if off >= MaxOffset {
+		panic(fmt.Sprintf("gaddr: offset %#x out of range [0,%#x)", off, uint32(MaxOffset)))
+	}
+	return GP(uint32(proc)<<OffBits | off)
+}
+
+// Proc returns the processor name encoded in g.
+func (g GP) Proc() int { return int(uint32(g) >> OffBits) }
+
+// Off returns the local byte offset encoded in g.
+func (g GP) Off() uint32 { return uint32(g) & offMask }
+
+// IsNil reports whether g is the null pointer.
+func (g GP) IsNil() bool { return g == Nil }
+
+// Add returns g advanced by delta bytes within the same processor section.
+// It panics on overflow of the offset field, which would silently change
+// the processor name.
+func (g GP) Add(delta uint32) GP {
+	off := g.Off() + delta
+	if off >= MaxOffset {
+		panic(fmt.Sprintf("gaddr: offset overflow: %#x + %#x", g.Off(), delta))
+	}
+	return GP(uint32(g) + delta)
+}
+
+// String formats g as ⟨p:off⟩ for diagnostics.
+func (g GP) String() string {
+	if g.IsNil() {
+		return "⟨nil⟩"
+	}
+	return fmt.Sprintf("⟨%d:%#x⟩", g.Proc(), g.Off())
+}
+
+// Page geometry, from the paper (§3.2, footnote 2): "In Olden, a page is
+// 2K bytes, and a line 64 bytes."
+const (
+	PageBytes = 2048 // bytes per cache page
+	LineBytes = 64   // bytes per cache line
+	// LinesPerPage is the number of lines in a page; with the paper's
+	// geometry this is 32, so a page's valid bits fit one 32-bit word
+	// (Figure 1).
+	LinesPerPage = PageBytes / LineBytes
+	// WordBytes is the machine word size used by the heap. The CM-5 used
+	// 4-byte words; we use 8 so a float64 or a packed GP fits one word.
+	WordBytes = 8
+	// WordsPerLine is the number of heap words per cache line.
+	WordsPerLine = LineBytes / WordBytes
+	// WordsPerPage is the number of heap words per page.
+	WordsPerPage = PageBytes / WordBytes
+)
+
+// PageID identifies a global page: the global byte address with the
+// low log2(PageBytes) bits cleared. Page IDs never cross processors
+// because heap sections are page-aligned.
+type PageID uint32
+
+// PageOf returns the global page containing g.
+func PageOf(g GP) PageID { return PageID(uint32(g) &^ uint32(PageBytes-1)) }
+
+// LineOf returns the index within its page of the line containing g.
+func LineOf(g GP) int { return int(g.Off()%PageBytes) / LineBytes }
+
+// Proc returns the processor owning the page.
+func (p PageID) Proc() int { return GP(p).Proc() }
+
+// Base returns the global pointer to the first byte of the page.
+func (p PageID) Base() GP { return GP(p) }
+
+// String formats the page for diagnostics.
+func (p PageID) String() string {
+	return fmt.Sprintf("page⟨%d:%#x⟩", GP(p).Proc(), GP(p).Off())
+}

@@ -1,0 +1,117 @@
+package gaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNil(t *testing.T) {
+	var g GP
+	if !g.IsNil() {
+		t.Fatal("zero GP must be nil")
+	}
+	if Nil.Proc() != 0 || Nil.Off() != 0 {
+		t.Fatal("nil decodes to ⟨0,0⟩")
+	}
+	if Nil.String() != "⟨nil⟩" {
+		t.Fatalf("nil String = %q", Nil.String())
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		proc int
+		off  uint32
+	}{
+		{0, 8}, {1, 0}, {31, 1 << 20}, {MaxProcs - 1, MaxOffset - 1},
+	}
+	for _, c := range cases {
+		g := Pack(c.proc, c.off)
+		if g.Proc() != c.proc || g.Off() != c.off {
+			t.Errorf("Pack(%d,%#x) = %v; decodes to (%d,%#x)", c.proc, c.off, g, g.Proc(), g.Off())
+		}
+	}
+}
+
+func TestPackRoundTripQuick(t *testing.T) {
+	f := func(p uint8, off uint32) bool {
+		proc := int(p) % MaxProcs
+		off %= MaxOffset
+		g := Pack(proc, off)
+		return g.Proc() == proc && g.Off() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("proc too big", func() { Pack(MaxProcs, 0) })
+	mustPanic("proc negative", func() { Pack(-1, 0) })
+	mustPanic("offset too big", func() { Pack(0, MaxOffset) })
+	mustPanic("add overflow", func() { Pack(3, MaxOffset-4).Add(8) })
+}
+
+func TestAdd(t *testing.T) {
+	g := Pack(5, 128)
+	h := g.Add(64)
+	if h.Proc() != 5 || h.Off() != 192 {
+		t.Fatalf("Add: got %v", h)
+	}
+}
+
+func TestPageGeometry(t *testing.T) {
+	if LinesPerPage != 32 {
+		t.Fatalf("paper geometry requires 32 lines/page, got %d", LinesPerPage)
+	}
+	if WordsPerLine*WordBytes != LineBytes || WordsPerPage*WordBytes != PageBytes {
+		t.Fatal("word geometry inconsistent")
+	}
+}
+
+func TestPageOfLineOf(t *testing.T) {
+	g := Pack(3, 2*PageBytes+5*LineBytes+8)
+	pg := PageOf(g)
+	if pg.Proc() != 3 {
+		t.Fatalf("page proc = %d", pg.Proc())
+	}
+	if pg.Base().Off() != 2*PageBytes {
+		t.Fatalf("page base off = %#x", pg.Base().Off())
+	}
+	if LineOf(g) != 5 {
+		t.Fatalf("line = %d", LineOf(g))
+	}
+}
+
+func TestPageOfQuick(t *testing.T) {
+	// Every address within a page maps to that page; lines partition it.
+	f := func(p uint8, pageIdx uint16, within uint16) bool {
+		proc := int(p) % MaxProcs
+		base := (uint32(pageIdx) % 128) * PageBytes
+		w := uint32(within) % PageBytes
+		g := Pack(proc, base+w)
+		pg := PageOf(g)
+		return pg.Proc() == proc &&
+			pg.Base().Off() == base &&
+			LineOf(g) == int(w)/LineBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := Pack(7, 0x40)
+	if got := g.String(); got != "⟨7:0x40⟩" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokPunct // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer tokenizes mini-C source.
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekRune() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *lexer) nextRune() rune {
+	r := l.src[l.i]
+	l.i++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"&&", "||", "==", "!=", "<=", ">=", "->",
+	"(", ")", "{", "}", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%", "!", "&",
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.i < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			l.nextRune()
+		case r == '/' && l.i+1 < len(l.src) && l.src[l.i+1] == '/':
+			for l.i < len(l.src) && l.peekRune() != '\n' {
+				l.nextRune()
+			}
+		case r == '/' && l.i+1 < len(l.src) && l.src[l.i+1] == '*':
+			pos := Pos{l.line, l.col}
+			l.nextRune()
+			l.nextRune()
+			for {
+				if l.i >= len(l.src) {
+					return l.errorf(pos, "unterminated block comment")
+				}
+				if l.peekRune() == '*' && l.i+1 < len(l.src) && l.src[l.i+1] == '/' {
+					l.nextRune()
+					l.nextRune()
+					break
+				}
+				l.nextRune()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	r := l.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.i < len(l.src) {
+			r := l.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			sb.WriteRune(l.nextRune())
+		}
+		return token{kind: tokIdent, text: sb.String(), pos: pos}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		isFloat := false
+		for l.i < len(l.src) {
+			r := l.peekRune()
+			if r == '.' && !isFloat {
+				isFloat = true
+			} else if !unicode.IsDigit(r) {
+				break
+			}
+			sb.WriteRune(l.nextRune())
+		}
+		k := tokInt
+		if isFloat {
+			k = tokFloat
+		}
+		return token{kind: k, text: sb.String(), pos: pos}, nil
+	default:
+		rest := string(l.src[l.i:])
+		for _, p := range puncts {
+			if strings.HasPrefix(rest, p) {
+				for range p {
+					l.nextRune()
+				}
+				return token{kind: tokPunct, text: p, pos: pos}, nil
+			}
+		}
+		return token{}, l.errorf(pos, "unexpected character %q", r)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

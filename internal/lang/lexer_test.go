@@ -1,0 +1,77 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lex(t, "while (s != NULL) { s = s->left; n = n + 1.5; }")
+	var kinds []tokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"while", "(", "s", "!=", "NULL", ")", "{", "s", "=", "s", "->", "left", ";",
+		"n", "=", "n", "+", "1.5", ";", "}", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v", len(texts), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q; want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lex(t, "a\n  bb\n   c")
+	if toks[0].pos != (Pos{1, 1}) || toks[1].pos != (Pos{2, 3}) || toks[2].pos != (Pos{3, 4}) {
+		t.Fatalf("positions: %v %v %v", toks[0].pos, toks[1].pos, toks[2].pos)
+	}
+}
+
+func TestLexerMaximalMunch(t *testing.T) {
+	toks := lex(t, "a<=b >= c == d && e")
+	ops := []string{}
+	for _, tok := range toks {
+		if tok.kind == tokPunct {
+			ops = append(ops, tok.text)
+		}
+	}
+	want := []string{"<=", ">=", "==", "&&"}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v", ops)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lexAll("a # b"); err == nil || !strings.Contains(err.Error(), "unexpected character") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := lexAll("/* never closed"); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks := lex(t, "12 3.25 0")
+	if toks[0].kind != tokInt || toks[1].kind != tokFloat || toks[2].kind != tokInt {
+		t.Fatalf("kinds: %v %v %v", toks[0].kind, toks[1].kind, toks[2].kind)
+	}
+}

@@ -1,0 +1,113 @@
+package machine
+
+// Cost is the cycle-cost model of the simulated machine. The defaults are
+// CM-5 flavoured: the paper reports that a thread migration costs about
+// seven times a cache miss (§4, footnote 3), and Appendix A gives the
+// write-tracking overheads (7 instructions for non-shared pages, 23 for
+// shared pages). All values are in simulated processor cycles.
+type Cost struct {
+	// PtrTest is the compiler-inserted local-vs-remote pointer check
+	// executed before every heap reference.
+	PtrTest int64
+	// CacheHit is the software cache lookup on the fast path: hash,
+	// chain walk, valid-bit test, and global→local translation.
+	CacheHit int64
+
+	// A cache miss is a request to the home processor, service there
+	// (which occupies the home, serializing hot homes), and a reply
+	// carrying the 64-byte line.
+	MissRequest int64
+	MissService int64
+	MissReply   int64
+
+	// A migration ships registers, PC and the current stack frame:
+	// send overhead at the source, network latency, receive overhead
+	// (including scheduling the thread) at the destination.
+	MigrateSend int64
+	MigrateNet  int64
+	MigrateRecv int64
+
+	// A return stub migration ships only registers and the return
+	// address — no stack frame — so it is cheaper.
+	ReturnSend int64
+	ReturnNet  int64
+	ReturnRecv int64
+
+	// FutureSpawn is the cost of a futurecall (saving the continuation
+	// on the work list); Touch is the cost of a touch that finds the
+	// value already computed.
+	FutureSpawn int64
+	Touch       int64
+
+	// Writes are write-through: latency to the home plus a small
+	// service there.
+	WriteThrough int64
+	WriteService int64
+
+	// Write tracking (global-knowledge and bilateral schemes only,
+	// Appendix A): per-write instrumentation cost.
+	WriteTrackNonShared int64
+	WriteTrackShared    int64
+
+	// InvalidateMsg is the cost, charged at the receiving sharer, of
+	// processing one invalidation message (global scheme); InvalidateAck
+	// is the latency of the acknowledgement the releaser waits for.
+	InvalidateMsg int64
+	InvalidateAck int64
+
+	// StampRequest/StampService/StampReply price the bilateral scheme's
+	// "what changed since timestamp T" round trip.
+	StampRequest int64
+	StampService int64
+	StampReply   int64
+
+	// FlushAll is the cost of invalidating the entire local cache
+	// (local-knowledge scheme, on migration receive).
+	FlushAll int64
+}
+
+// DefaultCost returns the CM-5-flavoured cost model used throughout the
+// experiments. Miss total = 100+200+100 = 400 cycles; migration total =
+// 800+1200+800 = 2800 cycles = 7× a miss, matching the paper's ratio.
+func DefaultCost() Cost {
+	return Cost{
+		PtrTest:  2,
+		CacheHit: 12,
+
+		MissRequest: 100,
+		MissService: 200,
+		MissReply:   100,
+
+		MigrateSend: 800,
+		MigrateNet:  1200,
+		MigrateRecv: 800,
+
+		ReturnSend: 400,
+		ReturnNet:  600,
+		ReturnRecv: 400,
+
+		FutureSpawn: 30,
+		Touch:       8,
+
+		WriteThrough: 40,
+		WriteService: 20,
+
+		WriteTrackNonShared: 7,
+		WriteTrackShared:    23,
+
+		InvalidateMsg: 60,
+		InvalidateAck: 100,
+
+		StampRequest: 100,
+		StampService: 60,
+		StampReply:   100,
+
+		FlushAll: 50,
+	}
+}
+
+// MissTotal returns the end-to-end cost of one cache miss.
+func (c Cost) MissTotal() int64 { return c.MissRequest + c.MissService + c.MissReply }
+
+// MigrateTotal returns the end-to-end cost of one migration.
+func (c Cost) MigrateTotal() int64 { return c.MigrateSend + c.MigrateNet + c.MigrateRecv }

@@ -1,0 +1,241 @@
+// Package machine simulates the distributed-memory SPMD machine Olden runs
+// on (a Thinking Machines CM-5 in the paper).
+//
+// Simulation model: every logical Olden thread carries its own virtual
+// clock, and every simulated processor is a serial virtual-time resource.
+// Charging `cycles` of work on processor P at thread time `now` performs
+//
+//	start  = max(P.clock, now)
+//	P.clock = start + cycles
+//	now'    = P.clock
+//
+// so two threads charging the same processor serialize in virtual time even
+// though their goroutines run concurrently in real time. Message latencies
+// advance only the thread clock; message *service* (a remote line fetch, a
+// migration receive) occupies the serving processor, which is what makes
+// hot homes — the root of a shared tree, say — serialize and bottleneck,
+// exactly the phenomenon the paper's heuristic avoids (§4.3, Figure 5).
+//
+// The makespan of a run is the maximum processor clock when the root thread
+// finishes; speedup is the ratio of the sequential baseline's cycles to the
+// makespan.
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// Proc is one simulated processor: a serial virtual-time resource plus its
+// section of the distributed heap. (Its software cache and coherence state
+// are attached by the runtime layer.)
+type Proc struct {
+	ID   int
+	Heap *mem.Heap
+
+	mu    sync.Mutex
+	clock int64
+	busy  int64
+}
+
+// Occupy charges cycles of work on the processor starting no earlier than
+// now, and returns the completion time (the thread's new clock).
+func (p *Proc) Occupy(now, cycles int64) int64 {
+	p.mu.Lock()
+	start := p.clock
+	if now > start {
+		start = now
+	}
+	p.clock = start + cycles
+	p.busy += cycles
+	end := p.clock
+	p.mu.Unlock()
+	return end
+}
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// Busy returns the total cycles of work charged to the processor.
+func (p *Proc) Busy() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy
+}
+
+// Reset clears the processor's virtual time and busy accounting (used
+// between the build and kernel phases of a benchmark).
+func (p *Proc) Reset() {
+	p.mu.Lock()
+	p.clock = 0
+	p.busy = 0
+	p.mu.Unlock()
+}
+
+// Config describes a simulated machine.
+type Config struct {
+	// Procs is the number of processors (1..gaddr.MaxProcs).
+	Procs int
+	// HeapBytesPerProc sizes each processor's heap section; zero means
+	// 32 MB.
+	HeapBytesPerProc uint32
+	// Cost is the cycle-cost model; the zero value means DefaultCost.
+	Cost Cost
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Cost  Cost
+	Procs []*Proc
+	Stats Stats
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("machine: invalid processor count %d", cfg.Procs))
+	}
+	if cfg.HeapBytesPerProc == 0 {
+		cfg.HeapBytesPerProc = 32 << 20
+	}
+	if cfg.Cost == (Cost{}) {
+		cfg.Cost = DefaultCost()
+	}
+	m := &Machine{Cost: cfg.Cost}
+	for i := 0; i < cfg.Procs; i++ {
+		m.Procs = append(m.Procs, &Proc{ID: i, Heap: mem.NewHeap(i, cfg.HeapBytesPerProc)})
+	}
+	return m
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return len(m.Procs) }
+
+// Makespan returns the maximum processor clock: the simulated running time
+// of everything executed so far.
+func (m *Machine) Makespan() int64 {
+	var mk int64
+	for _, p := range m.Procs {
+		if c := p.Clock(); c > mk {
+			mk = c
+		}
+	}
+	return mk
+}
+
+// TotalBusy returns the sum of busy cycles over all processors.
+func (m *Machine) TotalBusy() int64 {
+	var b int64
+	for _, p := range m.Procs {
+		b += p.Busy()
+	}
+	return b
+}
+
+// ResetClocks zeroes all processor clocks (keeping heap contents), so a
+// benchmark can time its kernel separately from its build phase.
+func (m *Machine) ResetClocks() {
+	for _, p := range m.Procs {
+		p.Reset()
+	}
+}
+
+// Stats aggregates machine-wide event counters. All fields are updated with
+// atomics so threads on any processor may bump them concurrently.
+type Stats struct {
+	PtrTests        atomic.Int64 // locality checks executed
+	Migrations      atomic.Int64 // forward migrations
+	Returns         atomic.Int64 // return-stub migrations
+	Futures         atomic.Int64 // futurecalls issued
+	Touches         atomic.Int64 // touches executed
+	CacheableReads  atomic.Int64 // reads at cached sites
+	CacheableWrites atomic.Int64 // writes at cached sites
+	RemoteReads     atomic.Int64 // cacheable reads to remote addresses
+	RemoteWrites    atomic.Int64 // cacheable writes to remote addresses
+	Misses          atomic.Int64 // remote references paying a protocol round trip
+	LineFetches     atomic.Int64 // 64-byte line transfers
+	PagesCached     atomic.Int64 // cache page entries ever allocated
+	Invalidations   atomic.Int64 // invalidation messages (global scheme)
+	StampChecks     atomic.Int64 // timestamp round trips (bilateral scheme)
+	FullFlushes     atomic.Int64 // whole-cache invalidations (local scheme)
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.PtrTests.Store(0)
+	s.Migrations.Store(0)
+	s.Returns.Store(0)
+	s.Futures.Store(0)
+	s.Touches.Store(0)
+	s.CacheableReads.Store(0)
+	s.CacheableWrites.Store(0)
+	s.RemoteReads.Store(0)
+	s.RemoteWrites.Store(0)
+	s.Misses.Store(0)
+	s.LineFetches.Store(0)
+	s.PagesCached.Store(0)
+	s.Invalidations.Store(0)
+	s.StampChecks.Store(0)
+	s.FullFlushes.Store(0)
+}
+
+// Snapshot copies the counters into a plain struct for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		PtrTests:        s.PtrTests.Load(),
+		Migrations:      s.Migrations.Load(),
+		Returns:         s.Returns.Load(),
+		Futures:         s.Futures.Load(),
+		Touches:         s.Touches.Load(),
+		CacheableReads:  s.CacheableReads.Load(),
+		CacheableWrites: s.CacheableWrites.Load(),
+		RemoteReads:     s.RemoteReads.Load(),
+		RemoteWrites:    s.RemoteWrites.Load(),
+		Misses:          s.Misses.Load(),
+		LineFetches:     s.LineFetches.Load(),
+		PagesCached:     s.PagesCached.Load(),
+		Invalidations:   s.Invalidations.Load(),
+		StampChecks:     s.StampChecks.Load(),
+		FullFlushes:     s.FullFlushes.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	PtrTests        int64
+	Migrations      int64
+	Returns         int64
+	Futures         int64
+	Touches         int64
+	CacheableReads  int64
+	CacheableWrites int64
+	RemoteReads     int64
+	RemoteWrites    int64
+	Misses          int64
+	LineFetches     int64
+	PagesCached     int64
+	Invalidations   int64
+	StampChecks     int64
+	FullFlushes     int64
+}
+
+// RemoteRefs returns the total number of cacheable references to remote
+// addresses (the denominator of Table 3's miss percentages).
+func (s StatsSnapshot) RemoteRefs() int64 { return s.RemoteReads + s.RemoteWrites }
+
+// MissPct returns misses as a percentage of remote references, or zero when
+// there were none.
+func (s StatsSnapshot) MissPct() float64 {
+	r := s.RemoteRefs()
+	if r == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses) / float64(r)
+}

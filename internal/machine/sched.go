@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Scheduler serializes all logical threads of a simulation in virtual-time
+// order: at any moment exactly one thread — the runnable thread with the
+// smallest virtual clock (ties broken by creation order) — executes. This
+// makes the simulation deterministic and causally correct: when a thread
+// charges work on a processor, no other live thread has an earlier clock,
+// so processor clocks only ever advance in globally consistent order.
+//
+// Protocol (enforced by the runtime layer):
+//   - Register a SchedEntry for every thread before it runs.
+//   - Call Sync(e, clock) before every simulation operation; it blocks
+//     until e is the minimal runnable entry.
+//   - Call Park(e) to block on a future; the entry leaves the runnable set.
+//   - Call Resume(e, clock) — from the currently running thread — to make
+//     a parked entry runnable again at the given clock.
+//   - Call Exit(e) when the thread is done.
+type Scheduler struct {
+	mu      sync.Mutex
+	h       entryHeap
+	active  *SchedEntry
+	seq     uint64
+	waiting int // entries parked off-heap (blocked on futures)
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// SchedEntry is one thread's handle in the scheduler.
+type SchedEntry struct {
+	clock  int64
+	seq    uint64
+	index  int // heap index; -1 when off-heap
+	parked bool
+	wake   chan struct{}
+}
+
+// Register creates and enrolls a new entry with the given clock. The new
+// thread must call Sync before touching simulation state.
+func (s *Scheduler) Register(clock int64) *SchedEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &SchedEntry{clock: clock, seq: s.seq, index: -1, wake: make(chan struct{}, 1)}
+	s.seq++
+	heap.Push(&s.h, e)
+	return e
+}
+
+// Sync updates e's clock and blocks until e is the minimal runnable entry.
+// The calling goroutine may then execute simulation operations until its
+// next Sync.
+func (s *Scheduler) Sync(e *SchedEntry, clock int64) {
+	s.mu.Lock()
+	e.clock = clock
+	heap.Fix(&s.h, e.index)
+	mayRun := s.active == e || s.active == nil
+	if mayRun && s.h.min() == e {
+		s.active = e
+		s.mu.Unlock()
+		return
+	}
+	if mayRun {
+		s.active = nil
+		s.wakeMinLocked()
+	}
+	e.parked = true
+	s.mu.Unlock()
+	<-e.wake
+}
+
+// Park removes e from the runnable set (the thread is about to block on a
+// future) and blocks until a Resume makes it runnable and it becomes
+// minimal.
+func (s *Scheduler) Park(e *SchedEntry) {
+	s.mu.Lock()
+	if e.index >= 0 {
+		heap.Remove(&s.h, e.index)
+	}
+	s.waiting++
+	if s.active == e || s.active == nil {
+		s.active = nil
+		s.wakeMinLocked()
+	}
+	e.parked = true
+	s.mu.Unlock()
+	<-e.wake
+}
+
+// Resume re-enrolls a parked entry at the given clock. It must be called by
+// the currently running thread (so wake-ups happen at deterministic points).
+// The resumed thread proceeds once it becomes minimal.
+func (s *Scheduler) Resume(e *SchedEntry, clock int64) {
+	s.mu.Lock()
+	e.clock = clock
+	s.waiting--
+	heap.Push(&s.h, e)
+	s.mu.Unlock()
+}
+
+// Exit removes e permanently and hands control to the next minimal entry.
+func (s *Scheduler) Exit(e *SchedEntry) {
+	s.mu.Lock()
+	if e.index >= 0 {
+		heap.Remove(&s.h, e.index)
+	}
+	if s.active == e || s.active == nil {
+		s.active = nil
+		s.wakeMinLocked()
+	}
+	s.mu.Unlock()
+}
+
+// wakeMinLocked transfers activeness to the minimal runnable entry, waking
+// its goroutine if it is parked. With an empty heap and parked-off-heap
+// entries remaining, every thread is blocked on a future that can never
+// complete — a deadlock in the simulated program.
+func (s *Scheduler) wakeMinLocked() {
+	m := s.h.min()
+	if m == nil {
+		if s.waiting > 0 {
+			panic("machine: simulation deadlock — every thread is blocked on a touch")
+		}
+		return
+	}
+	s.active = m
+	if m.parked {
+		m.parked = false
+		m.wake <- struct{}{}
+	}
+}
+
+// entryHeap orders entries by (clock, seq).
+type entryHeap []*SchedEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*SchedEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	e.index = -1
+	*h = old[:len(old)-1]
+	return e
+}
+func (h entryHeap) min() *SchedEntry {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSchedulerOrdersByClock(t *testing.T) {
+	s := NewScheduler()
+	var mu sync.Mutex
+	var order []int
+
+	run := func(id int, clocks []int64) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		e := s.Register(clocks[0])
+		go func() {
+			defer wg.Done()
+			for _, c := range clocks {
+				s.Sync(e, c)
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+			}
+			s.Exit(e)
+		}()
+		return &wg
+	}
+
+	// Thread 1 has clocks 0,10,20; thread 2 has 5,15,25: the interleaving
+	// must be strictly by clock: 1,2,1,2,1,2.
+	w1 := run(1, []int64{0, 10, 20})
+	w2 := run(2, []int64{5, 15, 25})
+	w1.Wait()
+	w2.Wait()
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v; want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerTieBreakBySeq(t *testing.T) {
+	s := NewScheduler()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	entries := make([]*SchedEntry, 3)
+	for i := range entries {
+		entries[i] = s.Register(100) // all tie at clock 100
+	}
+	for i := range entries {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Sync(entries[i], 100)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Exit(entries[i])
+		}()
+	}
+	wg.Wait()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("tie-break order = %v; want registration order", order)
+		}
+	}
+}
+
+func TestSchedulerParkResume(t *testing.T) {
+	s := NewScheduler()
+	waiter := s.Register(0)
+	worker := s.Register(1)
+	var got int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Sync(waiter, 0)
+		s.Park(waiter) // resumed at clock 500 by the worker
+		got = 500
+		s.Exit(waiter)
+	}()
+	go func() {
+		defer wg.Done()
+		s.Sync(worker, 1)
+		s.Sync(worker, 400)
+		s.Resume(waiter, 500)
+		s.Exit(worker)
+	}()
+	wg.Wait()
+	if got != 500 {
+		t.Fatal("parked thread did not resume")
+	}
+}
+
+func TestSchedulerDeadlockPanics(t *testing.T) {
+	s := NewScheduler()
+	e := s.Register(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	s.Sync(e, 0)
+	s.Park(e) // nobody will ever resume us
+}

@@ -1,0 +1,135 @@
+// Package mem implements the distributed heap: each simulated processor owns
+// one word-addressable heap section, and allocation requests name the
+// processor the object should live on (the paper's ALLOC library routine).
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gaddr"
+)
+
+// Heap is one processor's section of the distributed heap. The unit of
+// addressing is the byte (to match gaddr offsets and the paper's page/line
+// geometry) but all accesses are whole 8-byte words.
+//
+// A Heap is safe for concurrent use: threads "located" on other processors
+// reach into a home heap for write-through stores and line fetches.
+type Heap struct {
+	proc int
+
+	mu    sync.Mutex
+	words []uint64 // heap storage; index = byte offset / WordBytes
+	next  uint32   // bump-allocation cursor (byte offset)
+	limit uint32   // exclusive upper bound on offsets
+}
+
+// NewHeap creates the heap section for processor proc with the given
+// capacity in bytes (rounded up to a whole page). The first page is
+// reserved so that the nil global pointer ⟨0,0⟩ is never a valid address.
+func NewHeap(proc int, capacity uint32) *Heap {
+	if capacity > gaddr.MaxOffset {
+		capacity = gaddr.MaxOffset
+	}
+	pages := (capacity + gaddr.PageBytes - 1) / gaddr.PageBytes
+	if pages < 2 {
+		pages = 2
+	}
+	return &Heap{
+		proc:  proc,
+		next:  gaddr.PageBytes, // reserve page 0
+		limit: pages * gaddr.PageBytes,
+	}
+}
+
+// Proc returns the owning processor's name.
+func (h *Heap) Proc() int { return h.proc }
+
+// Alloc carves nbytes out of the heap and returns the global pointer to it.
+// Objects are word-aligned. Alloc never returns nil: exhausting a heap
+// section is a configuration error and panics with a sizing hint.
+func (h *Heap) Alloc(nbytes uint32) gaddr.GP {
+	if nbytes == 0 {
+		nbytes = gaddr.WordBytes
+	}
+	nbytes = (nbytes + gaddr.WordBytes - 1) &^ uint32(gaddr.WordBytes-1)
+	h.mu.Lock()
+	off := h.next
+	if off+nbytes > h.limit || off+nbytes < off {
+		h.mu.Unlock()
+		panic(fmt.Sprintf("mem: heap section of processor %d exhausted (%d bytes in use, %d requested, limit %d); raise Config.HeapBytesPerProc",
+			h.proc, off, nbytes, h.limit))
+	}
+	h.next = off + nbytes
+	need := int((off + nbytes) / gaddr.WordBytes)
+	if need > len(h.words) {
+		grown := make([]uint64, max(need*2, int(4*gaddr.WordsPerPage)))
+		copy(grown, h.words)
+		h.words = grown
+	}
+	h.mu.Unlock()
+	return gaddr.Pack(h.proc, off)
+}
+
+// InUse reports the number of allocated bytes (excluding the reserved page).
+func (h *Heap) InUse() uint32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next - gaddr.PageBytes
+}
+
+func (h *Heap) wordIndex(off uint32) int {
+	if off%gaddr.WordBytes != 0 {
+		panic(fmt.Sprintf("mem: misaligned access at offset %#x on processor %d", off, h.proc))
+	}
+	return int(off / gaddr.WordBytes)
+}
+
+// LoadWord reads the word at byte offset off.
+func (h *Heap) LoadWord(off uint32) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.wordIndex(off)
+	if i >= len(h.words) {
+		panic(fmt.Sprintf("mem: load beyond allocation at %#x on processor %d", off, h.proc))
+	}
+	return h.words[i]
+}
+
+// StoreWord writes the word at byte offset off.
+func (h *Heap) StoreWord(off uint32, v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.wordIndex(off)
+	if i >= len(h.words) {
+		panic(fmt.Sprintf("mem: store beyond allocation at %#x on processor %d", off, h.proc))
+	}
+	h.words[i] = v
+}
+
+// CopyLineOut copies the cache line starting at byte offset lineOff (which
+// must be line-aligned) into dst, which must hold WordsPerLine words. This
+// is the home-side service of a cache line fetch.
+func (h *Heap) CopyLineOut(lineOff uint32, dst []uint64) {
+	if lineOff%gaddr.LineBytes != 0 {
+		panic(fmt.Sprintf("mem: CopyLineOut at unaligned offset %#x", lineOff))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int(lineOff / gaddr.WordBytes)
+	for w := 0; w < gaddr.WordsPerLine; w++ {
+		if i+w < len(h.words) {
+			dst[w] = h.words[i+w]
+		} else {
+			dst[w] = 0
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package rt
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/gaddr"
+)
+
+// cacheAccess resolves a remote reference through the software cache,
+// running the bilateral stale check and the line fetch as needed. A
+// reference counts as one miss if it pays any protocol round trip —
+// a line fetch and/or a timestamp check (this is the quantity behind
+// Table 3's "% of Remote references that miss").
+func (t *Thread) cacheAccess(a gaddr.GP) *cacheRef {
+	c := t.rt.Caches[t.loc]
+	t.chargeHere(t.rt.M.Cost.CacheHit)
+	e, pageNew, lineValid := c.Probe(a)
+	if pageNew {
+		t.rt.M.Stats.PagesCached.Add(1)
+	}
+	missed := false
+	if t.rt.Coh.Kind() == coherence.Bilateral {
+		if _, stale := c.LineState(e, gaddr.LineOf(a)); stale {
+			t.now = t.rt.Coh.StaleCheck(e, t.loc, t.now)
+			missed = true
+			lineValid, _ = c.LineState(e, gaddr.LineOf(a))
+		}
+	}
+	if !lineValid {
+		missed = true
+		t.fetchLine(c, e, a)
+	}
+	if missed {
+		t.rt.M.Stats.Misses.Add(1)
+	}
+	return &cacheRef{e: e, pageOff: a.Off() % gaddr.PageBytes}
+}
+
+// fetchLine transfers the 64-byte line containing a from its home into the
+// local cache: request latency, service occupying the home, reply latency.
+func (t *Thread) fetchLine(c *cache.Cache, e *cache.Entry, a gaddr.GP) {
+	cost := t.rt.M.Cost
+	home := t.rt.M.Procs[a.Proc()]
+	line := gaddr.LineOf(a)
+	t.now += cost.MissRequest
+	t.now = home.Occupy(t.now, cost.MissService)
+	buf := make([]uint64, gaddr.WordsPerLine)
+	lineOff := a.Off() &^ uint32(gaddr.LineBytes-1)
+	home.Heap.CopyLineOut(lineOff, buf)
+	t.now += cost.MissReply
+	c.InstallLine(e, line, buf)
+	t.rt.Coh.RegisterSharer(e.Page, t.loc)
+	t.rt.M.Stats.LineFetches.Add(1)
+}

@@ -1,0 +1,104 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/gaddr"
+)
+
+// TestReadAfterWriteAllSchemes drives a long random access string — allocs,
+// reads and writes at randomly-mechanized sites, migrations — through every
+// coherence scheme and mode, checking each read against a shadow model.
+// This exercises line fetches, write-through, full flushes, sharer
+// invalidations and timestamp checks on one thread, where sequential
+// consistency degenerates to read-your-writes.
+func TestReadAfterWriteAllSchemes(t *testing.T) {
+	schemes := []coherence.Kind{coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral}
+	modes := []Mode{Heuristic, MigrateOnly, CacheOnly}
+	for _, scheme := range schemes {
+		for _, mode := range modes {
+			name := fmt.Sprintf("%v/%v", scheme, mode)
+			t.Run(name, func(t *testing.T) {
+				const procs = 4
+				r := New(Config{Procs: procs, Scheme: scheme, Mode: mode, HeapBytesPerProc: 1 << 22})
+				rng := rand.New(rand.NewSource(7))
+				shadow := map[gaddr.GP]uint64{}
+				sites := []*Site{
+					{Name: "prop.m", Mech: Migrate},
+					{Name: "prop.c", Mech: Cache},
+				}
+				r.Run(0, func(th *Thread) {
+					var objs []gaddr.GP
+					for i := 0; i < 32; i++ {
+						objs = append(objs, th.Alloc(rng.Intn(procs), 64))
+					}
+					for step := 0; step < 4000; step++ {
+						g := objs[rng.Intn(len(objs))]
+						off := uint32(rng.Intn(8)) * 8
+						s := sites[rng.Intn(len(sites))]
+						switch rng.Intn(5) {
+						case 0: // write
+							v := rng.Uint64()
+							th.StoreWord(s, g, off, v)
+							shadow[g.Add(off)] = v
+						case 1: // explicit migration
+							th.MigrateTo(rng.Intn(procs))
+						default: // read
+							got := th.LoadWord(s, g, off)
+							want := shadow[g.Add(off)]
+							if got != want {
+								t.Fatalf("step %d: read %v+%d via %s = %#x; want %#x",
+									step, g, off, s.Name, got, want)
+							}
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestParallelDisjointWrites checks the futures contract the paper relies
+// on: concurrent threads touch disjoint data, and after the touches the
+// parent observes every child's writes regardless of scheme.
+func TestParallelDisjointWrites(t *testing.T) {
+	for _, scheme := range []coherence.Kind{coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const procs = 8
+			r := New(Config{Procs: procs, Scheme: scheme, HeapBytesPerProc: 1 << 20})
+			r.Run(0, func(th *Thread) {
+				objs := make([]gaddr.GP, procs)
+				for p := range objs {
+					objs[p] = th.Alloc(p, 32)
+				}
+				var futs []*Future[int]
+				for p := 0; p < procs; p++ {
+					p := p
+					futs = append(futs, Spawn(th, func(c *Thread) int {
+						// Each child migrates to its processor and
+						// fills its object.
+						for w := uint32(0); w < 4; w++ {
+							c.StoreInt(siteMig, objs[p], w*8, int64(100*p)+int64(w))
+						}
+						return p
+					}))
+				}
+				for _, f := range futs {
+					f.Touch(th)
+				}
+				// Parent reads everything back through the cache.
+				for p := 0; p < procs; p++ {
+					for w := uint32(0); w < 4; w++ {
+						got := th.LoadInt(siteCache, objs[p], w*8)
+						if want := int64(100*p) + int64(w); got != want {
+							t.Fatalf("obj %d word %d = %d; want %d", p, w, got, want)
+						}
+					}
+				}
+			})
+		})
+	}
+}

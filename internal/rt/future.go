@@ -1,0 +1,85 @@
+package rt
+
+import (
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Future is the result of a futurecall (paper §2): work that may proceed in
+// parallel with its parent context. Olden implements futures with lazy task
+// creation — the continuation only becomes a real thread when the body
+// migrates away and the processor would otherwise sit idle.
+//
+// In this runtime the body runs as its own logical thread under the
+// virtual-time scheduler. Because the parent and the body charge the same
+// processor until one of them migrates, the virtual-time serialization
+// reproduces the lazy-task-creation economics: if the body never migrates,
+// no other processor ever does the continuation's work and the schedule
+// collapses to the sequential one plus the small futurecall overhead.
+type Future[T any] struct {
+	mu      sync.Mutex
+	done    bool
+	v       T
+	when    int64 // body completion time
+	waiters []*machine.SchedEntry
+}
+
+// Spawn issues a futurecall: body runs logically in parallel with the
+// caller, starting on the caller's processor at the caller's time. When the
+// body completes away from its spawn processor, a return-stub migration
+// brings its context back, exactly like a procedure return.
+func Spawn[T any](t *Thread, body func(child *Thread) T) *Future[T] {
+	t.sync()
+	t.rt.M.Stats.Futures.Add(1)
+	t.chargeHere(t.rt.M.Cost.FutureSpawn)
+	child := &Thread{
+		rt:     t.rt,
+		loc:    t.loc,
+		now:    t.now,
+		frames: []uint64{0},
+	}
+	child.se = t.rt.Sched.Register(child.now)
+	f := &Future[T]{}
+	t.rt.live.Add(1)
+	go func() {
+		defer t.rt.live.Done()
+		// Call returns the child to its spawn processor via the
+		// return stub if the body migrated.
+		v := Call(child, func() T { return body(child) })
+		child.Finish()
+		f.mu.Lock()
+		f.done, f.v, f.when = true, v, child.now
+		ws := f.waiters
+		f.waiters = nil
+		f.mu.Unlock()
+		// Wake touchers before leaving the scheduler so hand-off
+		// points are deterministic.
+		for _, w := range ws {
+			t.rt.Sched.Resume(w, child.now)
+		}
+		t.rt.Sched.Exit(child.se)
+	}()
+	return f
+}
+
+// Touch blocks until the future's value is available and synchronizes the
+// toucher's clock with the body's completion time.
+func (f *Future[T]) Touch(t *Thread) T {
+	t.sync()
+	f.mu.Lock()
+	if !f.done {
+		f.waiters = append(f.waiters, t.se)
+		f.mu.Unlock()
+		t.rt.Sched.Park(t.se)
+		f.mu.Lock()
+	}
+	v, when := f.v, f.when
+	f.mu.Unlock()
+	if when > t.now {
+		t.now = when
+	}
+	t.rt.M.Stats.Touches.Add(1)
+	t.chargeHere(t.rt.M.Cost.Touch)
+	return v
+}

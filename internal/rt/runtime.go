@@ -1,0 +1,213 @@
+// Package rt is the Olden runtime: it executes logical Olden threads on the
+// simulated machine, satisfying remote heap references by computation
+// migration or software caching (paper §3), implementing futures with lazy
+// task creation economics (§2), and invoking the coherence engine at every
+// migration send/receive (Appendix A).
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/machine"
+)
+
+// Mechanism says how a dereference site satisfies remote references.
+type Mechanism int
+
+const (
+	// Migrate moves the thread to the data (registers + PC + current
+	// stack frame).
+	Migrate Mechanism = iota
+	// Cache brings the data to the thread through the software cache.
+	Cache
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	if m == Migrate {
+		return "migrate"
+	}
+	return "cache"
+}
+
+// Mode optionally overrides every site's mechanism, machine-wide. The
+// paper's Table 2 compares the heuristic's choices against migrate-only.
+type Mode int
+
+const (
+	// Heuristic uses each site's own mechanism (as the compiler chose).
+	Heuristic Mode = iota
+	// MigrateOnly forces computation migration everywhere.
+	MigrateOnly
+	// CacheOnly forces software caching everywhere.
+	CacheOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case MigrateOnly:
+		return "migrate-only"
+	case CacheOnly:
+		return "cache-only"
+	}
+	return "heuristic"
+}
+
+// Site is one pointer-dereference site in the "compiled" program, tagged
+// with the mechanism the compile-time heuristic selected for it. Sites
+// accumulate per-site statistics, the view a profiler of the real system
+// would give: how often the site ran, how often it went remote, and how
+// many migrations it triggered.
+type Site struct {
+	Name string
+	Mech Mechanism
+
+	reads      atomic.Int64
+	writes     atomic.Int64
+	remote     atomic.Int64
+	migrations atomic.Int64
+}
+
+// SiteStats is a point-in-time copy of a site's counters.
+type SiteStats struct {
+	Name       string
+	Mech       Mechanism
+	Reads      int64
+	Writes     int64
+	Remote     int64
+	Migrations int64
+}
+
+// Stats snapshots the site's counters.
+func (s *Site) Stats() SiteStats {
+	return SiteStats{
+		Name:       s.Name,
+		Mech:       s.Mech,
+		Reads:      s.reads.Load(),
+		Writes:     s.writes.Load(),
+		Remote:     s.remote.Load(),
+		Migrations: s.migrations.Load(),
+	}
+}
+
+// Config describes a runtime instance.
+type Config struct {
+	// Procs is the simulated machine size.
+	Procs int
+	// Scheme selects the coherence scheme (default: local knowledge).
+	Scheme coherence.Kind
+	// Mode optionally overrides site mechanisms (default: heuristic).
+	Mode Mode
+	// NoOverhead disables the charges for pointer tests, cache lookups
+	// and future bookkeeping: the "true sequential implementation"
+	// baseline the paper divides by is the P=1 run with NoOverhead set.
+	NoOverhead bool
+	// HeapBytesPerProc sizes heap sections (0 ⇒ machine default).
+	HeapBytesPerProc uint32
+	// Cost overrides the cycle cost model (zero value ⇒ default).
+	Cost machine.Cost
+}
+
+// Runtime binds a machine, its per-processor software caches, and a
+// coherence engine.
+type Runtime struct {
+	M      *machine.Machine
+	Caches []*cache.Cache
+	Coh    *coherence.Engine
+	Mode   Mode
+	// Sched serializes all threads in virtual-time order, making every
+	// run deterministic.
+	Sched *machine.Scheduler
+	// Overhead is false for the sequential baseline.
+	Overhead bool
+
+	// dirty holds each processor's write-tracking state (Appendix A
+	// tracks writes per processor: "a vector of dirty bits for each
+	// shared page"); a migration leaving the processor releases it.
+	// Only the virtual-time-active thread touches these, so no lock is
+	// needed — the scheduler's hand-off orders all accesses.
+	dirty []coherence.DirtySet
+
+	live sync.WaitGroup // outstanding future bodies
+}
+
+// New builds a runtime and its machine.
+func New(cfg Config) *Runtime {
+	m := machine.New(machine.Config{
+		Procs:            cfg.Procs,
+		HeapBytesPerProc: cfg.HeapBytesPerProc,
+		Cost:             cfg.Cost,
+	})
+	caches := make([]*cache.Cache, cfg.Procs)
+	for i := range caches {
+		caches[i] = cache.New()
+	}
+	dirty := make([]coherence.DirtySet, cfg.Procs)
+	for i := range dirty {
+		dirty[i] = coherence.DirtySet{}
+	}
+	return &Runtime{
+		M:        m,
+		Caches:   caches,
+		Coh:      coherence.New(cfg.Scheme, m, caches),
+		Mode:     cfg.Mode,
+		Sched:    machine.NewScheduler(),
+		Overhead: !cfg.NoOverhead,
+		dirty:    dirty,
+	}
+}
+
+// P returns the machine size.
+func (r *Runtime) P() int { return r.M.P() }
+
+// Run executes f as the root Olden thread on processor start, waits for
+// every spawned future to finish, and returns the simulated makespan. It is
+// the entry point of an "Olden program"; a Runtime runs one program at a
+// time (phased benchmarks call Run once per phase).
+func (r *Runtime) Run(start int, f func(t *Thread)) int64 {
+	if start < 0 || start >= r.P() {
+		panic(fmt.Sprintf("rt: start processor %d out of range", start))
+	}
+	t := &Thread{
+		rt:     r,
+		loc:    start,
+		frames: []uint64{0},
+	}
+	t.se = r.Sched.Register(0)
+	f(t)
+	t.Finish()
+	r.Sched.Exit(t.se)
+	r.live.Wait()
+	return r.M.Makespan()
+}
+
+// ResetForKernel clears clocks, statistics and cache contents so the kernel
+// phase of a benchmark is timed on its own, as the paper does for the
+// non-whole-program rows of Table 2 ("We report kernel times only ... to
+// avoid having their data structure building phases skew the results").
+// Heap contents survive.
+func (r *Runtime) ResetForKernel() {
+	r.M.ResetClocks()
+	r.M.Stats.Reset()
+	for _, c := range r.Caches {
+		c.Clear()
+	}
+	for i := range r.dirty {
+		r.dirty[i] = coherence.DirtySet{}
+	}
+}
+
+// PagesCachedTotal sums the cumulative page allocations over all caches
+// (Table 3's "Total Pages Cached").
+func (r *Runtime) PagesCachedTotal() int64 {
+	var n int64
+	for _, c := range r.Caches {
+		n += c.PagesAllocated()
+	}
+	return n
+}

@@ -1,0 +1,284 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/gaddr"
+	"repro/internal/machine"
+)
+
+// Thread is one logical Olden thread. It carries its own virtual clock and
+// its current processor; work, message latencies and coherence events move
+// the clock forward, and charging work on a processor serializes against
+// every other thread on that processor in virtual time.
+//
+// A Thread is confined to a single goroutine; Spawn creates new threads for
+// parallel work.
+type Thread struct {
+	rt  *Runtime
+	se  *machine.SchedEntry
+	loc int   // current processor
+	now int64 // virtual clock
+
+	// frames holds, per active rt.Call, the bitmask of processors whose
+	// memories this thread wrote during the call — the refined
+	// local-knowledge rule invalidates exactly those homes on return.
+	frames []uint64
+}
+
+// Loc returns the processor the thread currently occupies.
+func (t *Thread) Loc() int { return t.loc }
+
+// Now returns the thread's virtual clock.
+func (t *Thread) Now() int64 { return t.now }
+
+// Runtime returns the runtime the thread executes on.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// workChunk bounds a single virtual-time occupation. Charging work in
+// chunks lets concurrently-arriving threads interleave on a processor the
+// way a real serial processor with preemption points would, instead of the
+// first goroutine to reach the mutex monopolizing the resource for one huge
+// charge.
+const workChunk = 256
+
+// Work charges cycles of local computation at the current processor.
+func (t *Thread) Work(cycles int64) {
+	for cycles > 0 {
+		c := cycles
+		if c > workChunk {
+			c = workChunk
+		}
+		t.sync()
+		t.now = t.rt.M.Procs[t.loc].Occupy(t.now, c)
+		cycles -= c
+	}
+}
+
+// sync blocks until this thread is the globally minimal-clock runnable
+// thread; every simulation operation starts with a sync, which is what
+// makes runs deterministic and virtual time causally consistent.
+func (t *Thread) sync() { t.rt.Sched.Sync(t.se, t.now) }
+
+// chargeHere charges overhead cycles locally if overhead accounting is on.
+func (t *Thread) chargeHere(cycles int64) {
+	if t.rt.Overhead && cycles > 0 {
+		t.now = t.rt.M.Procs[t.loc].Occupy(t.now, cycles)
+	}
+}
+
+// Alloc allocates nbytes on the named processor and returns its global
+// pointer — the paper's ALLOC library routine. Allocation itself costs a
+// few cycles of local work.
+func (t *Thread) Alloc(proc int, nbytes uint32) gaddr.GP {
+	if proc < 0 || proc >= t.rt.P() {
+		panic(fmt.Sprintf("rt: Alloc on processor %d of %d", proc, t.rt.P()))
+	}
+	t.sync()
+	t.chargeHere(4)
+	return t.rt.M.Procs[proc].Heap.Alloc(nbytes)
+}
+
+// mech resolves the effective mechanism of a site under the runtime mode.
+func (t *Thread) mech(s *Site) Mechanism {
+	switch t.rt.Mode {
+	case MigrateOnly:
+		return Migrate
+	case CacheOnly:
+		return Cache
+	default:
+		return s.Mech
+	}
+}
+
+// noteWrite records that the thread wrote processor q's memory: into every
+// open call frame (return invalidation) and into the dirty set via the
+// caller (write tracking).
+func (t *Thread) noteWrite(q int) {
+	for i := range t.frames {
+		t.frames[i] |= 1 << uint(q)
+	}
+}
+
+// migrate moves the thread to processor dst: release at the source, network
+// latency, receive + acquire at the destination.
+func (t *Thread) migrate(dst int, isReturn bool, writtenProcs uint64) {
+	c := t.rt.M.Cost
+	src := t.loc
+	var send, net, recv int64
+	if isReturn {
+		send, net, recv = c.ReturnSend, c.ReturnNet, c.ReturnRecv
+		t.rt.M.Stats.Returns.Add(1)
+	} else {
+		send, net, recv = c.MigrateSend, c.MigrateNet, c.MigrateRecv
+		t.rt.M.Stats.Migrations.Add(1)
+	}
+	t.now = t.rt.M.Procs[src].Occupy(t.now, send)
+	// A migration leaving a processor releases that processor's
+	// accumulated write-tracking state (Appendix A).
+	t.now = t.rt.Coh.OnRelease(src, t.now, t.rt.dirty[src])
+	t.rt.dirty[src] = coherence.DirtySet{}
+	t.now += net
+	t.now = t.rt.M.Procs[dst].Occupy(t.now, recv)
+	t.now = t.rt.Coh.OnAcquire(dst, t.now, isReturn, writtenProcs)
+	t.loc = dst
+}
+
+// MigrateTo explicitly moves the thread (used by programs that pin work to
+// a data owner, e.g. to model `ALLOC`-then-build loops).
+func (t *Thread) MigrateTo(dst int) {
+	if dst == t.loc {
+		return
+	}
+	t.sync()
+	t.migrate(dst, false, 0)
+}
+
+// Finish releases the thread's outstanding writes and folds its clock into
+// its final processor, so Makespan covers it. Run and Spawn call it
+// automatically.
+func (t *Thread) Finish() {
+	t.sync()
+	t.now = t.rt.Coh.OnRelease(t.loc, t.now, t.rt.dirty[t.loc])
+	t.rt.dirty[t.loc] = coherence.DirtySet{}
+	t.now = t.rt.M.Procs[t.loc].Occupy(t.now, 0)
+}
+
+// Call executes f as an Olden procedure call: if the body migrated away,
+// the return stub migrates the thread back to the caller's processor
+// (registers + return address only — no stack frame), and the refined
+// local-knowledge rule invalidates exactly the homes the body wrote.
+func Call[T any](t *Thread, f func() T) T {
+	home := t.loc
+	t.frames = append(t.frames, 0)
+	v := f()
+	mask := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	t.frames[len(t.frames)-1] |= mask
+	if t.loc != home {
+		t.migrate(home, true, mask)
+	}
+	return v
+}
+
+// CallVoid is Call for procedures without results.
+func CallVoid(t *Thread, f func()) {
+	Call(t, func() struct{} { f(); return struct{}{} })
+}
+
+// deref runs the locality test and, for remote references, applies the
+// site's mechanism. It returns the heap to address with direct loads
+// (after a migration the reference is local) or a cached entry.
+func (t *Thread) deref(s *Site, a gaddr.GP, isWrite bool) (entry *cacheRef, direct bool) {
+	if a.IsNil() {
+		panic(fmt.Sprintf("rt: nil pointer dereference at site %q", s.Name))
+	}
+	t.sync()
+	t.chargeHere(t.rt.M.Cost.PtrTest)
+	t.rt.M.Stats.PtrTests.Add(1)
+	if isWrite {
+		s.writes.Add(1)
+	} else {
+		s.reads.Add(1)
+	}
+	m := t.mech(s)
+	if m == Cache {
+		if isWrite {
+			t.rt.M.Stats.CacheableWrites.Add(1)
+		} else {
+			t.rt.M.Stats.CacheableReads.Add(1)
+		}
+	}
+	if a.Proc() == t.loc {
+		return nil, true
+	}
+	s.remote.Add(1)
+	if m == Migrate {
+		s.migrations.Add(1)
+		t.migrate(a.Proc(), false, 0)
+		return nil, true
+	}
+	if isWrite {
+		t.rt.M.Stats.RemoteWrites.Add(1)
+	} else {
+		t.rt.M.Stats.RemoteReads.Add(1)
+	}
+	return t.cacheAccess(a), false
+}
+
+// cacheRef is a resolved cached access: the entry plus the page offset.
+type cacheRef struct {
+	e       *cache.Entry
+	pageOff uint32
+}
+
+// LoadWord reads the 8-byte word at byte offset off from the object g,
+// using the site's mechanism for remote references.
+func (t *Thread) LoadWord(s *Site, g gaddr.GP, off uint32) uint64 {
+	a := g.Add(off)
+	ref, direct := t.deref(s, a, false)
+	if direct {
+		return t.rt.M.Procs[a.Proc()].Heap.LoadWord(a.Off())
+	}
+	return t.rt.Caches[t.loc].ReadWord(ref.e, ref.pageOff)
+}
+
+// StoreWord writes the word at byte offset off of object g. Cached remote
+// writes are write-through; every heap write is tracked for coherence.
+func (t *Thread) StoreWord(s *Site, g gaddr.GP, off uint32, v uint64) {
+	a := g.Add(off)
+	ref, direct := t.deref(s, a, true)
+	home := t.rt.M.Procs[a.Proc()]
+	if direct {
+		home.Heap.StoreWord(a.Off(), v)
+	} else {
+		// Update the local copy and write through to the home. The
+		// thread does not wait for the write-through to complete
+		// (write-buffer semantics), but the home is occupied by it.
+		t.rt.Caches[t.loc].WriteWord(ref.e, ref.pageOff, v)
+		t.chargeHere(t.rt.M.Cost.WriteThrough)
+		home.Occupy(t.now, t.rt.M.Cost.WriteService)
+		home.Heap.StoreWord(a.Off(), v)
+	}
+	if track := t.rt.Coh.WriteTrackCost(a); track > 0 {
+		t.now = t.rt.M.Procs[t.loc].Occupy(t.now, track)
+	}
+	t.rt.dirty[t.loc].Add(a)
+	t.noteWrite(a.Proc())
+}
+
+// Typed accessors. Heap words hold either a packed global pointer (low 32
+// bits), a signed 64-bit integer, or a float64's bits.
+
+// LoadPtr reads a global pointer field.
+func (t *Thread) LoadPtr(s *Site, g gaddr.GP, off uint32) gaddr.GP {
+	return gaddr.GP(t.LoadWord(s, g, off))
+}
+
+// StorePtr writes a global pointer field.
+func (t *Thread) StorePtr(s *Site, g gaddr.GP, off uint32, v gaddr.GP) {
+	t.StoreWord(s, g, off, uint64(v))
+}
+
+// LoadInt reads a signed integer field.
+func (t *Thread) LoadInt(s *Site, g gaddr.GP, off uint32) int64 {
+	return int64(t.LoadWord(s, g, off))
+}
+
+// StoreInt writes a signed integer field.
+func (t *Thread) StoreInt(s *Site, g gaddr.GP, off uint32, v int64) {
+	t.StoreWord(s, g, off, uint64(v))
+}
+
+// LoadFloat reads a float64 field.
+func (t *Thread) LoadFloat(s *Site, g gaddr.GP, off uint32) float64 {
+	return math.Float64frombits(t.LoadWord(s, g, off))
+}
+
+// StoreFloat writes a float64 field.
+func (t *Thread) StoreFloat(s *Site, g gaddr.GP, off uint32, v float64) {
+	t.StoreWord(s, g, off, math.Float64bits(v))
+}

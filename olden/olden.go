@@ -1,0 +1,119 @@
+// Package olden is the public face of this reproduction of "Software
+// Caching and Computation Migration in Olden" (Carlisle & Rogers, PPoPP
+// 1995): a simulated distributed-memory machine, the Olden runtime
+// (computation migration + software caching + futures), and the
+// compile-time heuristic that picks a mechanism per pointer dereference.
+//
+// A minimal program:
+//
+//	r := olden.New(olden.Config{Procs: 4})
+//	site := &olden.Site{Name: "list.next", Mech: olden.Cache}
+//	makespan := r.Run(0, func(t *olden.Thread) {
+//		head := t.Alloc(1, 16)
+//		t.StoreInt(site, head, 0, 42)
+//		_ = t.LoadInt(site, head, 0)
+//	})
+//
+// To run the compile-time analysis on a mini-C kernel:
+//
+//	report, err := olden.Analyze(src)
+//	fmt.Print(report)
+//
+// The complete benchmark suite from the paper lives in internal/bench and
+// is driven by cmd/oldenbench.
+package olden
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/gaddr"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/rt"
+)
+
+// Core runtime types, re-exported.
+type (
+	// Config describes a runtime instance (processors, coherence
+	// scheme, mechanism mode, cost model).
+	Config = rt.Config
+	// Runtime is the simulated machine plus the Olden runtime.
+	Runtime = rt.Runtime
+	// Thread is one logical Olden thread.
+	Thread = rt.Thread
+	// Site is a pointer-dereference site with its chosen mechanism.
+	Site = rt.Site
+	// Mechanism selects migration or caching for a site.
+	Mechanism = rt.Mechanism
+	// Mode optionally overrides all sites (heuristic/migrate-only/
+	// cache-only).
+	Mode = rt.Mode
+	// GP is a global heap pointer ⟨processor, offset⟩ in 32 bits.
+	GP = gaddr.GP
+	// Cost is the cycle-cost model.
+	Cost = machine.Cost
+	// SchemeKind selects the coherence scheme.
+	SchemeKind = coherence.Kind
+	// Report is the compile-time analysis result.
+	Report = core.Report
+	// Params are the heuristic's threshold and default affinity.
+	Params = core.Params
+)
+
+// Mechanisms and modes.
+const (
+	Migrate     = rt.Migrate
+	Cache       = rt.Cache
+	Heuristic   = rt.Heuristic
+	MigrateOnly = rt.MigrateOnly
+	CacheOnly   = rt.CacheOnly
+)
+
+// Coherence schemes (Appendix A).
+const (
+	LocalKnowledge  = coherence.LocalKnowledge
+	GlobalKnowledge = coherence.GlobalKnowledge
+	Bilateral       = coherence.Bilateral
+)
+
+// New builds a runtime and its simulated machine.
+func New(cfg Config) *Runtime { return rt.New(cfg) }
+
+// Spawn issues a futurecall; Touch the result to synchronize.
+func Spawn[T any](t *Thread, body func(child *Thread) T) *rt.Future[T] {
+	return rt.Spawn(t, body)
+}
+
+// Call executes f as an Olden procedure call with return-stub semantics.
+func Call[T any](t *Thread, f func() T) T { return rt.Call(t, f) }
+
+// CallVoid is Call for procedures without results.
+func CallVoid(t *Thread, f func()) { rt.CallVoid(t, f) }
+
+// DefaultCost returns the CM-5-flavoured cost model (migration ≈ 7× a
+// cache miss).
+func DefaultCost() Cost { return machine.DefaultCost() }
+
+// DefaultParams returns the paper's heuristic settings: 90% migration
+// threshold, 70% default path-affinity.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Analyze parses a mini-C program and runs the full three-step selection
+// process: path-affinity hints, update matrices, and the two-pass
+// heuristic with the bottleneck rule.
+func Analyze(src string) (*Report, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(prog, core.DefaultParams()), nil
+}
+
+// AnalyzeWith runs the analysis with custom heuristic parameters.
+func AnalyzeWith(src string, p Params) (*Report, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(prog, p), nil
+}

@@ -1,0 +1,79 @@
+package olden_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/olden"
+)
+
+func TestQuickstart(t *testing.T) {
+	r := olden.New(olden.Config{Procs: 4})
+	site := &olden.Site{Name: "demo", Mech: olden.Cache}
+	mk := r.Run(0, func(th *olden.Thread) {
+		g := th.Alloc(2, 16)
+		th.StoreInt(site, g, 0, 42)
+		if v := th.LoadInt(site, g, 0); v != 42 {
+			t.Errorf("read %d", v)
+		}
+	})
+	if mk <= 0 {
+		t.Fatal("makespan must advance")
+	}
+}
+
+func TestSpawnAndCall(t *testing.T) {
+	r := olden.New(olden.Config{Procs: 2})
+	r.Run(0, func(th *olden.Thread) {
+		f := olden.Spawn(th, func(c *olden.Thread) int {
+			c.MigrateTo(1)
+			c.Work(100)
+			return 7
+		})
+		v := olden.Call(th, func() int { return 1 })
+		if f.Touch(th)+v != 8 {
+			t.Fatal("wrong results")
+		}
+	})
+}
+
+func TestAnalyze(t *testing.T) {
+	report, err := olden.Analyze(`
+struct tree { int v; struct tree *left; struct tree *right; };
+int Sum(struct tree *t) {
+  if (t == NULL) return 0;
+  return Sum(t->left) + Sum(t->right) + t->v;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.String()
+	if !strings.Contains(out, "migrate t") {
+		t.Fatalf("analysis should migrate the traversal:\n%s", out)
+	}
+	if _, err := olden.Analyze(`int f( {`); err == nil {
+		t.Fatal("parse errors must surface")
+	}
+}
+
+func TestAnalyzeWith(t *testing.T) {
+	// With an absurd threshold nothing migrates.
+	src := `
+struct tree { struct tree *left; struct tree *right; };
+void T(struct tree *t) {
+  if (t == NULL) return;
+  T(t->left);
+  T(t->right);
+}
+`
+	p := olden.DefaultParams()
+	p.Threshold = 1.01
+	report, err := olden.AnalyzeWith(src, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(report.String(), "migrate") {
+		t.Fatal("threshold above 100% must cache everything")
+	}
+}

@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build vet fmt test oldenvet
+
+# The full gate CI runs: build, vet, formatting, tests, contract checks.
+check: build vet fmt test oldenvet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+oldenvet:
+	$(GO) run ./cmd/oldenvet ./...

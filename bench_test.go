@@ -129,7 +129,7 @@ func BenchmarkFigure2(b *testing.B) {
 							bench.RawStorePtr(r, nodes[j], 8, nodes[j+1])
 						}
 					}
-					site := &rt.Site{Name: "walk", Mech: mech}
+					site := &rt.Site{Name: "layout.walk", Mech: mech}
 					r.ResetForKernel()
 					cycles = r.Run(0, func(t *rt.Thread) {
 						for g := nodes[0]; !g.IsNil(); g = t.LoadPtr(site, g, 8) {
@@ -206,7 +206,7 @@ func runList(cost machine.Cost, n, p int, mech olden.Mechanism) int64 {
 			bench.RawStorePtr(r, nodes[j], 8, nodes[j+1])
 		}
 	}
-	site := &rt.Site{Name: "walk", Mech: mech}
+	site := &rt.Site{Name: "costs.walk", Mech: mech}
 	r.ResetForKernel()
 	return r.Run(0, func(t *rt.Thread) {
 		for g := nodes[0]; !g.IsNil(); g = t.LoadPtr(site, g, 8) {

@@ -46,6 +46,7 @@ func main() {
 	defAff := flag.Int("affinity", 70, "default path-affinity in percent")
 	sites := flag.Bool("sites", false, "also list every dereference site with its mechanism")
 	interproc := flag.Bool("interprocedural", false, "enable the return-value path extension (the paper's future work)")
+	lint := flag.Bool("lint", false, "emit lint diagnostics instead of the analysis report (exit 1 on errors)")
 	flag.Parse()
 
 	var src string
@@ -81,6 +82,19 @@ func main() {
 	report, err := olden.AnalyzeWith(src, params)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *lint {
+		bad := false
+		for _, d := range report.Lint() {
+			fmt.Println(d)
+			if d.Sev == olden.DiagError {
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Print(report)
 	if *sites {

@@ -33,8 +33,8 @@ func main() {
 	for _, name := range []string{"blocked", "cyclic"} {
 		for _, mech := range []olden.Mechanism{olden.Migrate, olden.Cache} {
 			r := olden.New(olden.Config{Procs: *procs})
-			site := &olden.Site{Name: "walk", Mech: mech}
-			build := &olden.Site{Name: "build", Mech: olden.Cache}
+			site := &olden.Site{Name: "listdist.walk", Mech: mech}
+			build := &olden.Site{Name: "listdist.build", Mech: olden.Cache}
 
 			var head olden.GP
 			r.Run(0, func(t *olden.Thread) {

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one contract violation, anchored to a source position.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Check)
+}
+
+// Checks is the registry, in reporting order.
+var Checks = []struct {
+	Name string
+	Fn   func(*Package) []Finding
+}{
+	{"thread-capture", checkThreadCapture},
+	{"site-hygiene", checkSiteHygiene},
+	{"future-discipline", checkFutureDiscipline},
+	{"heap-escape", checkHeapEscape},
+}
+
+// Run applies every check to every package and returns the findings
+// sorted by position.
+func Run(pkgs []*Package) []Finding {
+	var all []Finding
+	for _, p := range pkgs {
+		for _, c := range Checks {
+			all = append(all, c.Fn(p)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return all
+}
+
+func (p *Package) finding(check string, pos token.Pos, format string, args ...any) Finding {
+	ps := p.Fset.Position(pos)
+	return Finding{
+		Check:   check,
+		File:    ps.Filename,
+		Line:    ps.Line,
+		Col:     ps.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// mod returns the module path the runtime packages live under,
+// defaulting to "repro" if the loader could not determine one.
+func (p *Package) mod() string {
+	if p.Mod != "" {
+		return p.Mod
+	}
+	return "repro"
+}
+
+// unitPath is the unit's import path with the external-test suffix
+// stripped, for allowlist matching.
+func (p *Package) unitPath() string {
+	return strings.TrimSuffix(p.Path, "_test")
+}
+
+// rtFunc reports whether obj is the function name exported by the
+// runtime package (or its public re-export in package olden).
+func (p *Package) rtFunc(obj types.Object, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == p.mod()+"/internal/rt" || path == p.mod()+"/olden"
+}
+
+// calleeFunc resolves a call expression to the function object it
+// invokes, looking through explicit generic instantiations.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isSpawn reports whether call invokes rt.Spawn (or olden.Spawn).
+func (p *Package) isSpawn(call *ast.CallExpr) bool {
+	return p.rtFunc(p.calleeFunc(call), "Spawn")
+}
+
+// namedFrom reports whether t is (a pointer to) the named type
+// pkgSuffix.name, where pkgSuffix is relative to the module root.
+// Type identity is by package path and name, not pointer identity,
+// because each typechecked unit has its own object graph.
+func (p *Package) namedFrom(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		obj.Pkg().Path() == p.mod()+"/"+pkgSuffix
+}
+
+// walkStack is ast.Inspect with an ancestor stack: fn receives each node
+// together with its ancestors, stack[len(stack)-1] being the parent.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

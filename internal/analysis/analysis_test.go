@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// repoLoader builds one Loader for the repository root, shared by every
+// test (the go list run behind it is the expensive part).
+func repoLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = NewLoader("../..")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// The whole repository — benchmarks, examples, tests, commands — obeys
+// its own contracts: the suite self-hosts with zero findings.
+func TestSelfHostZeroFindings(t *testing.T) {
+	l := repoLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the full module", len(pkgs))
+	}
+	findings := Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// Each negative fixture fires its own check — and only its own check,
+// so a regression in one analysis cannot hide behind another.
+func TestFixturesFire(t *testing.T) {
+	cases := []struct {
+		dir   string
+		check string
+		min   int // minimum findings expected
+	}{
+		{"badcapture", "thread-capture", 1},
+		{"badsites", "site-hygiene", 4},
+		{"badfuture", "future-discipline", 3},
+		{"badescape", "heap-escape", 4},
+	}
+	l := repoLoader(t)
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			p, err := l.LoadDir(filepath.Join("testdata", c.dir))
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			findings := Run([]*Package{p})
+			if len(findings) < c.min {
+				t.Fatalf("got %d findings, want at least %d: %v", len(findings), c.min, findings)
+			}
+			for _, f := range findings {
+				if f.Check != c.check {
+					t.Errorf("finding from unexpected check %q: %s", f.Check, f)
+				}
+				if f.Line == 0 || f.File == "" {
+					t.Errorf("finding without a position: %+v", f)
+				}
+			}
+		})
+	}
+}
+
+// Specific diagnostics the fixtures must produce, by message fragment.
+func TestFixtureMessages(t *testing.T) {
+	l := repoLoader(t)
+	wants := map[string][]string{
+		"badsites": {
+			"has no Name",
+			"does not follow the dotted",
+			"duplicate site name \"bad.dup\"",
+			"nil site passed to LoadWord",
+		},
+		"badfuture": {
+			"never touched",
+			"not touched before this return",
+			"touched again",
+		},
+		"badescape": {
+			"unpacks a global pointer to a raw integer",
+			"gaddr method Proc",
+			"call to gaddr.Pack",
+			"arithmetic on a global pointer",
+		},
+		"badcapture": {
+			"parent thread \"t\" used inside Spawn closure",
+		},
+	}
+	for dir, fragments := range wants {
+		p, err := l.LoadDir(filepath.Join("testdata", dir))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		findings := Run([]*Package{p})
+		for _, frag := range fragments {
+			found := false
+			for _, f := range findings {
+				if strings.Contains(f.Message, frag) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no finding mentions %q; got %v", dir, frag, findings)
+			}
+		}
+	}
+}
+
+// Findings marshal to the JSON shape oldenvet -json documents.
+func TestFindingJSON(t *testing.T) {
+	f := Finding{Check: "site-hygiene", File: "x.go", Line: 3, Col: 7, Message: "m"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"check":"site-hygiene","file":"x.go","line":3,"col":7,"message":"m"}`
+	if string(b) != want {
+		t.Fatalf("JSON = %s; want %s", b, want)
+	}
+	if got := f.String(); got != "x.go:3:7: m [site-hygiene]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "go/ast"
+
+// checkThreadCapture flags uses of the parent thread inside a Spawn
+// closure.  An rt.Thread is confined to the goroutine running it; the
+// closure passed to Spawn executes on the child thread's goroutine, so
+// touching the parent *rt.Thread there is a data race on the simulated
+// clock (and deadlocks the virtual-time scheduler).  The closure must
+// use its own *rt.Thread parameter.
+func checkThreadCapture(p *Package) []Finding {
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 || !p.isSpawn(call) {
+				return true
+			}
+			parent, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pobj := p.Info.Uses[parent]
+			if pobj == nil {
+				return true
+			}
+			body, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(body.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == pobj {
+					fs = append(fs, p.finding("thread-capture", id.Pos(),
+						"parent thread %q used inside Spawn closure; use the closure's own *rt.Thread parameter", id.Name))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return fs
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// gaddrLayers are the module-relative packages allowed to look inside
+// the gaddr.GP ⟨processor, offset⟩ encoding.  Everyone else treats a
+// global pointer as an opaque capability and goes through the typed
+// rt.Thread API (or rt.FieldPtr / Runtime.Raw* for untimed setup).
+var gaddrLayers = map[string]bool{
+	"internal/gaddr":     true,
+	"internal/mem":       true,
+	"internal/cache":     true,
+	"internal/rt":        true,
+	"internal/coherence": true,
+	"internal/machine":   true,
+}
+
+// gaddrUnpackFuncs and gaddrUnpackMethods are the package-level
+// functions and GP/PageID methods that expose the encoding.  IsNil and
+// String are deliberately absent: they reveal nothing a benchmark could
+// misuse.
+var gaddrUnpackFuncs = map[string]bool{"Pack": true, "PageOf": true, "LineOf": true}
+var gaddrUnpackMethods = map[string]bool{"Proc": true, "Off": true, "Add": true, "Base": true}
+
+// checkHeapEscape flags code outside the runtime layers that unpacks,
+// forges, or does arithmetic on global heap pointers.
+func checkHeapEscape(p *Package) []Finding {
+	rel := strings.TrimPrefix(p.unitPath(), p.mod()+"/")
+	if gaddrLayers[rel] {
+		return nil
+	}
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fs = append(fs, p.escapeCall(n)...)
+			case *ast.BinaryExpr:
+				fs = append(fs, p.escapeBinary(n)...)
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+func (p *Package) isGaddrValue(t types.Type) bool {
+	return p.namedFrom(t, "internal/gaddr", "GP") || p.namedFrom(t, "internal/gaddr", "PageID")
+}
+
+func (p *Package) escapeCall(call *ast.CallExpr) []Finding {
+	// Conversions to or from the packed representation.
+	if tv, ok := p.Info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := types.Type(nil)
+		if atv, ok := p.Info.Types[call.Args[0]]; ok {
+			src = atv.Type
+		}
+		switch {
+		case p.isGaddrValue(dst) && src != nil && !p.isGaddrValue(src):
+			return []Finding{p.finding("heap-escape", call.Pos(),
+				"conversion forges a global pointer from a raw integer; only the runtime layers may pack gaddr values")}
+		case src != nil && p.isGaddrValue(src) && !p.isGaddrValue(dst):
+			return []Finding{p.finding("heap-escape", call.Pos(),
+				"conversion unpacks a global pointer to a raw integer; only the runtime layers may inspect the encoding")}
+		}
+		return nil
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if p.isGaddrValue(sig.Recv().Type()) && gaddrUnpackMethods[fn.Name()] {
+			return []Finding{p.finding("heap-escape", call.Pos(),
+				"call to gaddr method %s unpacks the ⟨processor, offset⟩ encoding outside the runtime layers", fn.Name())}
+		}
+		return nil
+	}
+	if fn.Pkg().Path() == p.mod()+"/internal/gaddr" && gaddrUnpackFuncs[fn.Name()] {
+		return []Finding{p.finding("heap-escape", call.Pos(),
+			"call to gaddr.%s outside the runtime layers; benchmarks must treat global pointers as opaque", fn.Name())}
+	}
+	return nil
+}
+
+func (p *Package) escapeBinary(b *ast.BinaryExpr) []Finding {
+	switch b.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.AND_NOT, token.SHL, token.SHR:
+	default:
+		return nil // comparisons and logic are fine
+	}
+	for _, e := range []ast.Expr{b.X, b.Y} {
+		if tv, ok := p.Info.Types[e]; ok && p.isGaddrValue(tv.Type) {
+			return []Finding{p.finding("heap-escape", b.Pos(),
+				"arithmetic on a global pointer outside the runtime layers; use rt.FieldPtr for interior pointers")}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// siteNameRE is the "<bench>.<var>" convention: at least two dotted
+// identifier segments, e.g. "treeadd.child" or "fig2.walk".
+var siteNameRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)+$`)
+
+// loadStoreMethods are the typed dereference entry points on rt.Thread;
+// each takes the *rt.Site as its first argument.
+var loadStoreMethods = map[string]bool{
+	"LoadWord": true, "StoreWord": true,
+	"LoadPtr": true, "StorePtr": true,
+	"LoadInt": true, "StoreInt": true,
+	"LoadFloat": true, "StoreFloat": true,
+}
+
+// checkSiteHygiene enforces the site-naming contract: every rt.Site
+// literal carries a nonempty constant Name following the dotted
+// "<bench>.<var>" convention, names are unique within a package (two
+// sites sharing a name would merge their statistics), and typed
+// load/store calls never pass a nil site.
+func checkSiteHygiene(p *Package) []Finding {
+	var fs []Finding
+	first := map[string]token.Position{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := p.Info.Types[n]
+				if !ok || !p.namedFrom(tv.Type, "internal/rt", "Site") {
+					return true
+				}
+				fs = append(fs, p.siteLiteral(n, first)...)
+			case *ast.CallExpr:
+				fs = append(fs, p.siteArgs(n)...)
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// siteLiteral validates one rt.Site composite literal.
+func (p *Package) siteLiteral(lit *ast.CompositeLit, first map[string]token.Position) []Finding {
+	var nameExpr ast.Expr
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Name" {
+				nameExpr = kv.Value
+			}
+		}
+	}
+	if nameExpr == nil && len(lit.Elts) > 0 {
+		if _, ok := lit.Elts[0].(*ast.KeyValueExpr); !ok {
+			nameExpr = lit.Elts[0]
+		}
+	}
+	if nameExpr == nil {
+		return []Finding{p.finding("site-hygiene", lit.Pos(),
+			"rt.Site literal has no Name; every dereference site must be named")}
+	}
+	tv, ok := p.Info.Types[nameExpr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil // dynamically built name; nothing to check statically
+	}
+	name := constant.StringVal(tv.Value)
+	if name == "" {
+		return []Finding{p.finding("site-hygiene", nameExpr.Pos(),
+			"rt.Site literal has an empty Name")}
+	}
+	if !siteNameRE.MatchString(name) {
+		return []Finding{p.finding("site-hygiene", nameExpr.Pos(),
+			"site name %q does not follow the dotted <bench>.<var> convention", name)}
+	}
+	if prev, ok := first[name]; ok {
+		return []Finding{p.finding("site-hygiene", nameExpr.Pos(),
+			"duplicate site name %q in this package (first used at %s:%d); duplicate names merge per-site statistics",
+			name, prev.Filename, prev.Line)}
+	}
+	first[name] = p.Fset.Position(nameExpr.Pos())
+	return nil
+}
+
+// siteArgs flags nil site arguments at typed load/store calls.
+func (p *Package) siteArgs(call *ast.CallExpr) []Finding {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !loadStoreMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !p.namedFrom(sig.Recv().Type(), "internal/rt", "Thread") {
+		return nil
+	}
+	if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.IsNil() {
+		return []Finding{p.finding("site-hygiene", call.Args[0].Pos(),
+			"nil site passed to %s; dereferences must be attributed to a named rt.Site", sel.Sel.Name)}
+	}
+	return nil
+}

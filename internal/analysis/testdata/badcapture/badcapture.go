@@ -1,0 +1,16 @@
+// Package badcapture is a negative fixture for the thread-capture
+// check: a Spawn closure that uses the parent thread instead of its own
+// child-thread parameter.
+package badcapture
+
+import "repro/internal/rt"
+
+func Twice(t *rt.Thread) int {
+	f := rt.Spawn(t, func(c *rt.Thread) int {
+		// BAD: the nested spawn names the parent thread t; it must
+		// spawn from c, the thread actually running this closure.
+		g := rt.Spawn(t, func(c2 *rt.Thread) int { return 1 })
+		return g.Touch(c)
+	})
+	return f.Touch(t)
+}

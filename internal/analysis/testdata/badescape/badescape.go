@@ -1,0 +1,15 @@
+// Package badescape is a negative fixture for the heap-escape check:
+// benchmark-level code unpacking, forging, and doing arithmetic on the
+// packed gaddr.GP representation.
+package badescape
+
+import "repro/internal/gaddr"
+
+func Forge(g gaddr.GP) gaddr.GP {
+	raw := uint32(g)             // BAD: unpack to raw integer
+	home := g.Proc()             // BAD: accessor unpacks
+	next := gaddr.Pack(home, 16) // BAD: forge from raw parts
+	interior := g + 4            // BAD: pointer arithmetic
+	_, _ = raw, interior
+	return next
+}

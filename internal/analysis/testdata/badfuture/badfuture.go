@@ -1,0 +1,24 @@
+// Package badfuture is a negative fixture for the future-discipline
+// check: a future that is never touched, one missed on a path, and one
+// touched twice.
+package badfuture
+
+import "repro/internal/rt"
+
+func Dropped(t *rt.Thread) {
+	f := rt.Spawn(t, func(c *rt.Thread) int { return 1 })
+	_ = f == nil // BAD: inspected but never touched
+}
+
+func Conditional(t *rt.Thread, p bool) int {
+	f := rt.Spawn(t, func(c *rt.Thread) int { return 2 })
+	if p {
+		return f.Touch(t)
+	}
+	return 0 // BAD: un-touched on this path
+}
+
+func Double(t *rt.Thread) int {
+	f := rt.Spawn(t, func(c *rt.Thread) int { return 3 })
+	return f.Touch(t) + f.Touch(t) // BAD: touched twice
+}

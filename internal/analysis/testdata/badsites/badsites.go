@@ -1,0 +1,20 @@
+// Package badsites is a negative fixture for the site-hygiene check:
+// an anonymous site, a name that ignores the dotted convention, a
+// duplicated name, and a nil site at a typed load.
+package badsites
+
+import (
+	"repro/internal/gaddr"
+	"repro/internal/rt"
+)
+
+var (
+	anon = &rt.Site{Mech: rt.Cache}               // BAD: no Name
+	flat = &rt.Site{Name: "walk", Mech: rt.Cache} // BAD: not <bench>.<var>
+	dupA = &rt.Site{Name: "bad.dup", Mech: rt.Migrate}
+	dupB = &rt.Site{Name: "bad.dup", Mech: rt.Cache} // BAD: duplicate
+)
+
+func Read(t *rt.Thread, g gaddr.GP) uint64 {
+	return t.LoadWord(nil, g, 0) // BAD: nil site
+}

@@ -107,7 +107,7 @@ func (s *state) insert(t *rt.Thread, cell gaddr.GP, center [3]float64, half floa
 	case t.LoadInt(s.siteBuild, cur, offKind) == kindBody:
 		// Split: the new cell lives on the displaced body's processor,
 		// distributing the tree like the bodies.
-		sub := t.Alloc(cur.Proc(), cellSz)
+		sub := t.AllocAtHome(cur, cellSz)
 		t.StoreInt(s.siteBuild, sub, offKind, kindCell)
 		for q := 0; q < 8; q++ {
 			t.StoreWord(s.siteBuild, sub, offChildO(q), 0)

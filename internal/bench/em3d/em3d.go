@@ -224,7 +224,7 @@ func Run(cfg bench.Config) bench.Result {
 			}
 			block := bench.RawAlloc(r, p, uint32(8*(hi-lo)))
 			for i := lo; i < hi; i++ {
-				slots[side][i] = block.Add(uint32(8 * (i - lo)))
+				slots[side][i] = rt.FieldPtr(block, uint32(8*(i-lo)))
 			}
 		}
 	}

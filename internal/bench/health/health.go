@@ -280,7 +280,7 @@ func (s *state) sim(t *rt.Thread, v gaddr.GP, level int) gaddr.GP {
 		seed := lcgNext(t.LoadWord(st, v, offSeed))
 		t.StoreWord(st, v, offSeed, seed)
 		if lcgPct(seed) < genPct {
-			p := t.Alloc(v.Proc(), patientSz)
+			p := t.AllocAtHome(v, patientSz)
 			t.StoreInt(sl, p, offTimeLeft, 0)
 			t.StoreInt(sl, p, offHops, 0)
 			s.prepend(t, v, offWaiting, p)

@@ -10,33 +10,33 @@ import (
 // times use them for the untimed data-structure-building phase ("we report
 // kernel times only ... to avoid having their data structure building
 // phases, which show excellent speed-up, skew the results"); whole-program
-// benchmarks build through a thread instead.
+// benchmarks build through a thread instead. They delegate to the
+// runtime's Raw* methods: benchmark code never unpacks global-pointer
+// encodings itself (internal/analysis enforces this).
 
 // RawAlloc allocates on a processor without charging anything.
 func RawAlloc(r *rt.Runtime, proc int, nbytes uint32) gaddr.GP {
-	return r.M.Procs[proc].Heap.Alloc(nbytes)
+	return r.RawAlloc(proc, nbytes)
 }
 
 // RawStore writes a word of an object without charging anything.
 func RawStore(r *rt.Runtime, g gaddr.GP, off uint32, v uint64) {
-	a := g.Add(off)
-	r.M.Procs[a.Proc()].Heap.StoreWord(a.Off(), v)
+	r.RawStore(g, off, v)
 }
 
 // RawLoad reads a word of an object without charging anything.
 func RawLoad(r *rt.Runtime, g gaddr.GP, off uint32) uint64 {
-	a := g.Add(off)
-	return r.M.Procs[a.Proc()].Heap.LoadWord(a.Off())
+	return r.RawLoad(g, off)
 }
 
 // RawStorePtr writes a pointer field.
 func RawStorePtr(r *rt.Runtime, g gaddr.GP, off uint32, v gaddr.GP) {
-	RawStore(r, g, off, uint64(v))
+	r.RawStorePtr(g, off, v)
 }
 
 // RawLoadPtr reads a pointer field.
 func RawLoadPtr(r *rt.Runtime, g gaddr.GP, off uint32) gaddr.GP {
-	return gaddr.GP(RawLoad(r, g, off))
+	return r.RawLoadPtr(g, off)
 }
 
 // BlockedProc maps index i of n items onto one of p processors in a blocked

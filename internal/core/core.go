@@ -64,6 +64,11 @@ func fieldAffinity(prog *lang.Program, structName, field string, p Params) float
 	if f.Affinity < 0 {
 		return p.DefaultAffinity
 	}
+	// Out-of-range hints are a lint error (core.Lint); the analysis
+	// clamps so probabilities stay probabilities.
+	if f.Affinity > 100 {
+		return 1
+	}
 	return float64(f.Affinity) / 100
 }
 

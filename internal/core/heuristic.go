@@ -114,6 +114,7 @@ func cloneLoop(l *Loop, parent *Loop) *Loop {
 		Kind:     l.Kind,
 		Fn:       l.Fn,
 		Label:    l.Label,
+		Pos:      l.Pos,
 		Parent:   parent,
 		Matrix:   l.Matrix,
 		Parallel: l.Parallel,

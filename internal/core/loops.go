@@ -43,6 +43,7 @@ type Loop struct {
 	Kind     LoopKind
 	Fn       *lang.FuncDecl
 	Label    string
+	Pos      lang.Pos // loop keyword (syntactic) or function (recursion)
 	Parent   *Loop
 	Children []*Loop
 
@@ -210,6 +211,7 @@ func (a *analysis) buildFuncLoops() []*Loop {
 			Kind:     RecursionLoop,
 			Fn:       a.fn,
 			Label:    a.fn.Name + "/rec",
+			Pos:      a.fn.Pos,
 			Matrix:   a.recursionMatrix(),
 			Parallel: containsFuture(a.fn.Body),
 		}
@@ -240,6 +242,7 @@ func (a *analysis) buildFuncLoops() []*Loop {
 				Kind:     SyntacticLoop,
 				Fn:       a.fn,
 				Label:    fmt.Sprintf("%s/while@%s", a.fn.Name, s.Pos),
+				Pos:      s.Pos,
 				Matrix:   a.loopMatrix(s.Body, nil),
 				Parallel: containsFuture(s.Body),
 				bodyStmt: s.Body,
@@ -251,6 +254,7 @@ func (a *analysis) buildFuncLoops() []*Loop {
 				Kind:     SyntacticLoop,
 				Fn:       a.fn,
 				Label:    fmt.Sprintf("%s/for@%s", a.fn.Name, s.Pos),
+				Pos:      s.Pos,
 				Matrix:   a.loopMatrix(s.Body, s.Post),
 				Parallel: containsFuture(s.Body),
 				bodyStmt: s.Body,

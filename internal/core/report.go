@@ -16,30 +16,55 @@ func (r *Report) FuncLoops(fn string) []*Loop {
 	return nil
 }
 
-// FindLoop returns the first loop (depth-first over the whole report) whose
-// label has the given prefix, or nil. Labels look like "TreeAdd/rec" or
-// "Walk/while@4:3".
+// FindLoop returns the loop whose label has the given prefix, or nil.
+// Labels look like "TreeAdd/rec" or "Walk/while@4:3". When the prefix
+// matches several loops the result is deterministic and favours the most
+// canonical match: an exact label match beats a proper prefix, an original
+// loop beats a call-expanded instance of it, a shallower loop beats a
+// deeper one, and remaining ties break on label then program order.
 func (r *Report) FindLoop(prefix string) *Loop {
-	var find func(l *Loop) *Loop
-	find = func(l *Loop) *Loop {
+	type cand struct {
+		l     *Loop
+		depth int
+		order int
+	}
+	var cands []cand
+	order := 0
+	var walk func(l *Loop, depth int)
+	walk = func(l *Loop, depth int) {
 		if strings.HasPrefix(l.Label, prefix) {
-			return l
+			cands = append(cands, cand{l, depth, order})
 		}
+		order++
 		for _, c := range l.Children {
-			if m := find(c); m != nil {
-				return m
-			}
+			walk(c, depth+1)
 		}
-		return nil
 	}
 	for _, fr := range r.Funcs {
 		for _, l := range fr.Loops {
-			if m := find(l); m != nil {
-				return m
-			}
+			walk(l, 0)
 		}
 	}
-	return nil
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if ae, be := a.l.Label == prefix, b.l.Label == prefix; ae != be {
+			return ae
+		}
+		if ao, bo := a.l.origin == nil, b.l.origin == nil; ao != bo {
+			return ao
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		if a.l.Label != b.l.Label {
+			return a.l.Label < b.l.Label
+		}
+		return a.order < b.order
+	})
+	return cands[0].l
 }
 
 // MechanismOf reports the selected mechanism for variable v inside the

@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+// An ambiguous prefix ("Walk" matches both Walk's and WalkAndTraverse's
+// loops, plus the call-expanded Walk instance under TraverseAndWalk) must
+// deterministically resolve to the original, shallowest,
+// lexicographically-first loop.
+func TestFindLoopAmbiguousPrefix(t *testing.T) {
+	r := analyze(t, figure5)
+	l := r.FindLoop("Walk")
+	if l == nil {
+		t.Fatal("no match")
+	}
+	if l.origin != nil {
+		t.Fatalf("FindLoop returned a call instance of %s", l.Label)
+	}
+	if got := l.Label; got[:10] != "Walk/while" {
+		t.Fatalf("FindLoop(\"Walk\") = %s; want Walk's own while loop", got)
+	}
+	// Repeated lookups agree (determinism).
+	for i := 0; i < 5; i++ {
+		if r.FindLoop("Walk") != l {
+			t.Fatal("FindLoop not stable across calls")
+		}
+	}
+}
+
+// The original loop wins over its call-expanded instances even when the
+// instance was demoted: MechanismOf("Traverse", "t") reports the
+// standalone choice.
+func TestFindLoopPrefersOriginalOverInstance(t *testing.T) {
+	r := analyze(t, figure5)
+	l := r.FindLoop("Traverse/rec")
+	if l == nil || l.origin != nil {
+		t.Fatal("want the original Traverse recursion loop")
+	}
+	if l.Mech != ChooseMigrate {
+		t.Fatal("standalone Traverse migrates")
+	}
+	if m := r.MechanismOf("Traverse/rec", "t"); m != ChooseMigrate {
+		t.Fatalf("MechanismOf = %s; want migrate (the original, not the demoted instance)", m)
+	}
+}
+
+// Nested loops sharing a label prefix: the shallower (outer) loop wins.
+func TestFindLoopNestedSamePrefix(t *testing.T) {
+	src := `
+struct n { struct n *next; };
+void g(struct n *a, struct n *b) {
+  while (a) {
+    while (b) { b = b->next; }
+    a = a->next;
+  }
+}
+`
+	r := analyze(t, src)
+	l := r.FindLoop("g/while")
+	if l == nil {
+		t.Fatal("no match")
+	}
+	if l.Parent != nil {
+		t.Fatalf("FindLoop(\"g/while\") = %s (nested); want the outer loop", l.Label)
+	}
+	if l.Var != "a" {
+		t.Fatalf("outer loop var = %q; want a", l.Var)
+	}
+	// An exact label beats the shallower proper-prefix match.
+	inner := l.Children[0]
+	if got := r.FindLoop(inner.Label); got != inner {
+		t.Fatalf("exact label %q did not resolve to the inner loop", inner.Label)
+	}
+}
+
+func TestFindLoopUnknownPrefix(t *testing.T) {
+	r := analyze(t, figure4)
+	if l := r.FindLoop("NoSuchLoop"); l != nil {
+		t.Fatalf("FindLoop of unknown prefix = %v; want nil", l)
+	}
+}
+
+// MechanismOf: unknown loop prefixes and unknown variables both fall back
+// to caching — the safe default the compiler would emit.
+func TestMechanismOfEdgeCases(t *testing.T) {
+	r := analyze(t, figure4)
+	if m := r.MechanismOf("NoSuchLoop", "t"); m != ChooseCache {
+		t.Fatalf("unknown loop: %s; want cache", m)
+	}
+	if m := r.MechanismOf("TreeAdd/rec", "nosuchvar"); m != ChooseCache {
+		t.Fatalf("unknown variable: %s; want cache", m)
+	}
+	if m := r.MechanismOf("TreeAdd/rec", "t"); m != ChooseMigrate {
+		t.Fatalf("induction variable: %s; want migrate", m)
+	}
+}

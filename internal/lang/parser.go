@@ -127,9 +127,12 @@ func (p *parser) structDecl() *StructDecl {
 		aff := -1
 		if p.accept(tokIdent, "__affinity") {
 			p.expect(tokPunct, "(")
+			// Any integer parses; range checking ([0,100]) is a lint
+			// diagnostic (core.Lint), so out-of-range hints get a
+			// positioned error instead of a parse failure.
 			v, err := strconv.Atoi(p.expect(tokInt, "").text)
-			if err != nil || v < 0 || v > 100 {
-				p.fail("affinity must be an integer percentage in [0,100]")
+			if err != nil {
+				p.fail("affinity must be an integer percentage")
 			}
 			aff = v
 			p.expect(tokPunct, ")")

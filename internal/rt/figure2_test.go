@@ -94,7 +94,7 @@ func TestFigure2CrossoverCost(t *testing.T) {
 		r.Run(0, func(th *Thread) {
 			head := buildList(th, n, layout)
 			r.ResetForKernel()
-			traverse(th, head, &Site{Name: "walk", Mech: mech})
+			traverse(th, head, &Site{Name: "fig2.walk", Mech: mech})
 		})
 		mk = r.M.Makespan()
 		return mk

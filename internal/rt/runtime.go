@@ -7,6 +7,7 @@ package rt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +72,12 @@ type Site struct {
 	writes     atomic.Int64
 	remote     atomic.Int64
 	migrations atomic.Int64
+
+	// reg is the runtime this site was last registered with. It is only
+	// touched by the virtual-time-active thread (deref starts with a
+	// sync), so no lock is needed — the scheduler's hand-off orders all
+	// accesses.
+	reg *Runtime
 }
 
 // SiteStats is a point-in-time copy of a site's counters.
@@ -133,6 +140,15 @@ type Runtime struct {
 	// needed — the scheduler's hand-off orders all accesses.
 	dirty []coherence.DirtySet
 
+	// sites indexes every Site that has executed on this runtime by
+	// name; dups counts extra registrations of an already-taken name by
+	// a *distinct* Site value. Two sites sharing a name would silently
+	// merge in per-site statistics (Table 3), so the collision is
+	// recorded and exposed instead. Like dirty, these are only touched
+	// by the virtual-time-active thread.
+	sites map[string]*Site
+	dups  map[string]int
+
 	live sync.WaitGroup // outstanding future bodies
 }
 
@@ -159,7 +175,48 @@ func New(cfg Config) *Runtime {
 		Sched:    machine.NewScheduler(),
 		Overhead: !cfg.NoOverhead,
 		dirty:    dirty,
+		sites:    map[string]*Site{},
+		dups:     map[string]int{},
 	}
+}
+
+// registerSite indexes a site by name on first use with this runtime,
+// recording name collisions between distinct Site values.
+func (r *Runtime) registerSite(s *Site) {
+	prev, ok := r.sites[s.Name]
+	switch {
+	case !ok:
+		r.sites[s.Name] = s
+	case prev != s:
+		r.dups[s.Name]++
+	}
+}
+
+// SiteStats snapshots every site that has executed on this runtime,
+// sorted by name — the per-site view behind Table 3's statistics.
+func (r *Runtime) SiteStats() []SiteStats {
+	names := make([]string, 0, len(r.sites))
+	for n := range r.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SiteStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.sites[n].Stats())
+	}
+	return out
+}
+
+// DuplicateSites reports, per site name, how many *distinct* Site values
+// beyond the first used that name on this runtime. A non-empty result
+// means per-site statistics under that name silently merged counters from
+// unrelated dereference sites.
+func (r *Runtime) DuplicateSites() map[string]int {
+	out := make(map[string]int, len(r.dups))
+	for n, c := range r.dups {
+		out[n] = c
+	}
+	return out
 }
 
 // P returns the machine size.

@@ -1,0 +1,106 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gaddr"
+)
+
+// Sites register themselves with the runtime on first use, and two
+// distinct Site values sharing one name are detected instead of silently
+// merging their per-site statistics.
+func TestSiteRegistrationAndDuplicates(t *testing.T) {
+	r := New(Config{Procs: 2})
+	sa := &Site{Name: "reg.a", Mech: Cache}
+	sb := &Site{Name: "reg.b", Mech: Migrate}
+	// The clashing name is assembled at run time: oldenvet's static
+	// duplicate check only sees constant names, and this test exercises
+	// precisely the dynamic case it cannot — the runtime-side detector.
+	sbClash := &Site{Name: strings.Repeat("reg.b", 1), Mech: Cache}
+	r.Run(0, func(th *Thread) {
+		g := th.Alloc(1, 16)
+		th.StoreInt(sa, g, 0, 1)
+		th.LoadInt(sb, g, 0)
+		th.LoadInt(sb, g, 0)
+		th.LoadInt(sbClash, g, 0)
+	})
+
+	stats := r.SiteStats()
+	if len(stats) != 2 {
+		t.Fatalf("SiteStats: %d entries; want 2 (reg.a, reg.b)", len(stats))
+	}
+	if stats[0].Name != "reg.a" || stats[1].Name != "reg.b" {
+		t.Fatalf("SiteStats order = %q, %q; want sorted by name", stats[0].Name, stats[1].Name)
+	}
+	dups := r.DuplicateSites()
+	if len(dups) != 1 || dups["reg.b"] != 1 {
+		t.Fatalf("DuplicateSites = %v; want reg.b counted once", dups)
+	}
+}
+
+// Reusing one Site value across runtimes (the benchmark-suite pattern:
+// fresh runtime per run, site rebuilt per run or shared) must not count as
+// a duplicate anywhere.
+func TestSiteReuseAcrossRuntimes(t *testing.T) {
+	s := &Site{Name: "reuse.s", Mech: Cache}
+	for i := 0; i < 2; i++ {
+		r := New(Config{Procs: 1})
+		r.Run(0, func(th *Thread) {
+			g := th.Alloc(0, 8)
+			th.StoreInt(s, g, 0, int64(i))
+		})
+		if d := r.DuplicateSites(); len(d) != 0 {
+			t.Fatalf("run %d: DuplicateSites = %v; want none", i, d)
+		}
+		if st := r.SiteStats(); len(st) != 1 || st[0].Name != "reuse.s" {
+			t.Fatalf("run %d: SiteStats = %v", i, st)
+		}
+	}
+}
+
+func TestAllocAtHome(t *testing.T) {
+	r := New(Config{Procs: 4})
+	s := &Site{Name: "home.s", Mech: Cache}
+	r.Run(0, func(th *Thread) {
+		g := th.Alloc(3, 16)
+		n := th.AllocAtHome(g, 16)
+		if n.Proc() != g.Proc() {
+			t.Errorf("AllocAtHome placed on %d; want %d", n.Proc(), g.Proc())
+		}
+		th.StoreInt(s, n, 0, 7)
+		if got := th.LoadInt(s, n, 0); got != 7 {
+			t.Errorf("load = %d; want 7", got)
+		}
+	})
+}
+
+func TestAllocAtHomeNilPanics(t *testing.T) {
+	r := New(Config{Procs: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllocAtHome(nil) must panic")
+		}
+	}()
+	r.Run(0, func(th *Thread) { th.AllocAtHome(gaddr.Nil, 8) })
+}
+
+func TestFieldPtrAndRawHelpers(t *testing.T) {
+	r := New(Config{Procs: 2})
+	g := r.RawAlloc(1, 32)
+	if g.IsNil() {
+		t.Fatal("RawAlloc returned nil")
+	}
+	elem := FieldPtr(g, 24)
+	if elem.Proc() != g.Proc() || elem.Off() != g.Off()+24 {
+		t.Fatalf("FieldPtr(g,24) = %v; want interior pointer on same proc", elem)
+	}
+	r.RawStore(g, 24, 99)
+	if v := r.RawLoad(elem, 0); v != 99 {
+		t.Fatalf("RawLoad via interior pointer = %d; want 99", v)
+	}
+	r.RawStorePtr(g, 0, elem)
+	if p := r.RawLoadPtr(g, 0); p != elem {
+		t.Fatalf("RawLoadPtr = %v; want %v", p, elem)
+	}
+}

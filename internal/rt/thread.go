@@ -82,6 +82,18 @@ func (t *Thread) Alloc(proc int, nbytes uint32) gaddr.GP {
 	return t.rt.M.Procs[proc].Heap.Alloc(nbytes)
 }
 
+// AllocAtHome allocates nbytes on the processor that owns g — the common
+// "place the new object with its neighbour" pattern (e.g. splitting a
+// Barnes-Hut cell on the displaced body's processor). Programs use this
+// instead of unpacking the processor name out of a global pointer
+// themselves: address encodings are the runtime's business.
+func (t *Thread) AllocAtHome(g gaddr.GP, nbytes uint32) gaddr.GP {
+	if g.IsNil() {
+		panic("rt: AllocAtHome of nil pointer")
+	}
+	return t.Alloc(g.Proc(), nbytes)
+}
+
 // mech resolves the effective mechanism of a site under the runtime mode.
 func (t *Thread) mech(s *Site) Mechanism {
 	switch t.rt.Mode {
@@ -177,6 +189,10 @@ func (t *Thread) deref(s *Site, a gaddr.GP, isWrite bool) (entry *cacheRef, dire
 		panic(fmt.Sprintf("rt: nil pointer dereference at site %q", s.Name))
 	}
 	t.sync()
+	if s.reg != t.rt {
+		s.reg = t.rt
+		t.rt.registerSite(s)
+	}
 	t.chargeHere(t.rt.M.Cost.PtrTest)
 	t.rt.M.Stats.PtrTests.Add(1)
 	if isWrite {

@@ -58,6 +58,10 @@ type (
 	Report = core.Report
 	// Params are the heuristic's threshold and default affinity.
 	Params = core.Params
+	// Diag is one mini-C lint diagnostic (Report.Lint).
+	Diag = core.Diag
+	// DiagSeverity ranks a lint diagnostic.
+	DiagSeverity = core.DiagSeverity
 )
 
 // Mechanisms and modes.
@@ -67,6 +71,12 @@ const (
 	Heuristic   = rt.Heuristic
 	MigrateOnly = rt.MigrateOnly
 	CacheOnly   = rt.CacheOnly
+)
+
+// Lint severities.
+const (
+	DiagWarning = core.DiagWarning
+	DiagError   = core.DiagError
 )
 
 // Coherence schemes (Appendix A).

@@ -9,7 +9,7 @@ import (
 
 func TestQuickstart(t *testing.T) {
 	r := olden.New(olden.Config{Procs: 4})
-	site := &olden.Site{Name: "demo", Mech: olden.Cache}
+	site := &olden.Site{Name: "demo.slot", Mech: olden.Cache}
 	mk := r.Run(0, func(th *olden.Thread) {
 		g := th.Alloc(2, 16)
 		th.StoreInt(site, g, 0, 42)

@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet fmt test oldenvet
+BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-# The full gate CI runs: build, vet, formatting, tests, contract checks.
-check: build vet fmt test oldenvet
+.PHONY: check build vet fmt test oldenvet lint
+
+# The full gate CI runs: build, vet, formatting, tests, contract checks,
+# and the mini-C lints over every kernel and example source.
+check: build vet fmt test oldenvet lint
 
 build:
 	$(GO) build ./...
@@ -22,3 +25,13 @@ test:
 
 oldenvet:
 	$(GO) run ./cmd/oldenvet ./...
+
+# oldenc -lint exits 1 only on error-severity diagnostics; the known
+# warnings (figure3's dead store, the figure5/barneshut demotions) pass.
+lint:
+	@for b in $(BENCHES); do \
+		$(GO) run ./cmd/oldenc -lint -bench $$b || exit 1; \
+	done
+	@for f in examples/minic/*.c; do \
+		$(GO) run ./cmd/oldenc -lint $$f || exit 1; \
+	done

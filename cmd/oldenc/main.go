@@ -2,18 +2,22 @@
 // update matrices, induction variables, and the two-pass mechanism
 // selection heuristic (paper §4).
 //
-//	oldenc prog.c            # analyze a source file
-//	oldenc -                 # analyze standard input
-//	oldenc -bench treeadd    # analyze a benchmark's kernel
+//	oldenc prog.c             # analyze a source file
+//	oldenc -                  # analyze standard input
+//	oldenc -bench treeadd     # analyze a benchmark's kernel
 //	oldenc -threshold 80 prog.c
+//	oldenc -lint prog.c       # lint diagnostics (exit 1 on errors)
+//	oldenc -lint -json prog.c # diagnostics in the oldenvet -json shape
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/bench/barneshut"
 	"repro/internal/bench/bisort"
 	"repro/internal/bench/em3d"
@@ -47,9 +51,14 @@ func main() {
 	sites := flag.Bool("sites", false, "also list every dereference site with its mechanism")
 	interproc := flag.Bool("interprocedural", false, "enable the return-value path extension (the paper's future work)")
 	lint := flag.Bool("lint", false, "emit lint diagnostics instead of the analysis report (exit 1 on errors)")
+	jsonOut := flag.Bool("json", false, "with -lint, emit diagnostics as JSON (the oldenvet -json finding shape)")
 	flag.Parse()
+	if *jsonOut && !*lint {
+		fatalf("-json requires -lint")
+	}
 
 	var src string
+	file := ""
 	switch {
 	case *benchName != "":
 		s, ok := kernels[*benchName]
@@ -57,18 +66,21 @@ func main() {
 			fatalf("unknown benchmark %q", *benchName)
 		}
 		src = s
+		file = "bench:" + *benchName
 	case flag.NArg() == 1 && flag.Arg(0) == "-":
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fatalf("reading stdin: %v", err)
 		}
 		src = string(data)
+		file = "<stdin>"
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatalf("%v", err)
 		}
 		src = string(data)
+		file = flag.Arg(0)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: oldenc [-threshold N] [-affinity N] <file.c | - | -bench name>")
 		os.Exit(2)
@@ -84,15 +96,32 @@ func main() {
 		fatalf("%v", err)
 	}
 	if *lint {
-		bad := false
-		for _, d := range report.Lint() {
-			fmt.Println(d)
-			if d.Sev == olden.DiagError {
-				bad = true
+		diags := report.Lint()
+		if *jsonOut {
+			findings := make([]analysis.Finding, 0, len(diags))
+			for _, d := range diags {
+				findings = append(findings, analysis.Finding{
+					Check:   d.Code,
+					File:    file,
+					Line:    d.Pos.Line,
+					Col:     d.Pos.Col,
+					Message: d.Msg,
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(findings); err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Println(d)
 			}
 		}
-		if bad {
-			os.Exit(1)
+		for _, d := range diags {
+			if d.Sev == olden.DiagError {
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -1,0 +1,14 @@
+/* Paper Figure 3: a list walk whose update matrix has a non-trivial
+ * off-diagonal row. `oldenc figure3.c` prints the matrix; `-lint` points
+ * out that u's store is dead (the figure keeps it only for the matrix). */
+struct node {
+  struct node *left __affinity(90);
+  struct node *right __affinity(70);
+};
+void f(struct node *s, struct node *t, struct node *u) {
+  while (s) {
+    s = s->left;
+    t = t->right->left;
+    u = s->right;
+  }
+}

@@ -1,0 +1,11 @@
+/* Paper Figure 4: TreeAdd. The sequenced recursive calls combine t's
+ * update as 1 - (1-0.9)(1-0.7) = 0.97, so the heuristic migrates t. */
+struct tree {
+  int val;
+  struct tree *left __affinity(90);
+  struct tree *right __affinity(70);
+};
+int TreeAdd(struct tree *t) {
+  if (t == NULL) return 0;
+  else return TreeAdd(t->left) + TreeAdd(t->right) + t->val;
+}

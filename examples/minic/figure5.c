@@ -1,0 +1,39 @@
+/* Paper Figure 5: the bottleneck pass. WalkAndTraverse spawns a Traverse
+ * of the same tree per list element, so migrating the traversal would
+ * serialize on the root; the second pass demotes it to caching, and
+ * `oldenc -lint` surfaces the demotion. TraverseAndWalk has no bottleneck. */
+struct tree {
+  struct tree *left;
+  struct tree *right;
+  struct list *list;
+};
+struct list { int v; struct list *next; };
+
+void visit(struct list *l) { return; }
+
+void Traverse(struct tree *t) {
+  if (t == NULL) return;
+  Traverse(t->left);
+  Traverse(t->right);
+}
+
+void Walk(struct list *l) {
+  while (l) {
+    visit(l);
+    l = l->next;
+  }
+}
+
+void WalkAndTraverse(struct list *l, struct tree *t) {
+  while (l) {
+    futurecall(Traverse(t));
+    l = l->next;
+  }
+}
+
+void TraverseAndWalk(struct tree *t) {
+  if (t == NULL) return;
+  futurecall(TraverseAndWalk(t->left));
+  futurecall(TraverseAndWalk(t->right));
+  Walk(t->list);
+}

@@ -31,6 +31,7 @@ var Checks = []struct {
 	{"site-hygiene", checkSiteHygiene},
 	{"future-discipline", checkFutureDiscipline},
 	{"heap-escape", checkHeapEscape},
+	{"mechanism-consistency", checkMechConsistency},
 }
 
 // Run applies every check to every package and returns the findings

@@ -56,6 +56,7 @@ func TestFixturesFire(t *testing.T) {
 		{"badsites", "site-hygiene", 4},
 		{"badfuture", "future-discipline", 3},
 		{"badescape", "heap-escape", 4},
+		{"badmech", "mechanism-consistency", 1},
 	}
 	l := repoLoader(t)
 	for _, c := range cases {
@@ -103,6 +104,9 @@ func TestFixtureMessages(t *testing.T) {
 		},
 		"badcapture": {
 			"parent thread \"t\" used inside Spawn closure",
+		},
+		"badmech": {
+			`site "badmech.t" is tagged Cache but the kernel heuristic chooses Migrate for "t"`,
 		},
 	}
 	for dir, fragments := range wants {

@@ -5,7 +5,7 @@
 // go/types) — package loading shells out to `go list -export` for
 // compiled export data instead of depending on golang.org/x/tools.
 //
-// The four checks, and the contract each one enforces:
+// The five checks, and the contract each one enforces:
 //
 //   - thread-capture: an rt.Thread is confined to the goroutine that owns
 //     it, so a Spawn closure must use its own child-thread parameter and
@@ -18,6 +18,9 @@
 //   - heap-escape: the ⟨processor, offset⟩ packing of gaddr.GP is an
 //     implementation detail of the runtime layers; nothing else unpacks,
 //     forges, or does arithmetic on it.
+//   - mechanism-consistency: in a package carrying a mini-C KernelSource,
+//     every rt.Site's Mech tag agrees with what the compile-time
+//     heuristic chooses for that site's variable on the kernel.
 //
 // cmd/oldenvet is the command-line driver.
 package analysis

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+// checkMechConsistency cross-checks the Mech tag of every rt.Site
+// literal against the compile-time heuristic run on the same package's
+// mini-C kernel. A benchmark package is "compiler output": its
+// `KernelSource` constant is the program the paper's compiler would have
+// seen, and each hand-written `&rt.Site{Name: "bench.v", Mech: ...}` is
+// a claim about what that compiler decided for v's dereferences. The
+// check replays the decision — parse the kernel, run core.Analyze with
+// the default parameters, look up the mechanism the heuristic gives the
+// tag — and flags any literal whose claim disagrees.
+//
+// Sites whose tag does not map onto the kernel (helper phases, sites of
+// variables the kernel abstracts away) are skipped, as are sites with a
+// non-constant name or a Mech that is not spelled as the rt.Migrate /
+// rt.Cache constant. Packages without a KernelSource constant are not
+// benchmark packages and are skipped entirely.
+func checkMechConsistency(p *Package) []Finding {
+	src, pos, ok := kernelSource(p)
+	if !ok {
+		return nil
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return []Finding{p.finding("mechanism-consistency", pos,
+			"KernelSource does not parse as mini-C: %v", err)}
+	}
+	rep := core.Analyze(prog, core.DefaultParams())
+
+	var fs []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[lit]
+			if !ok || !p.namedFrom(tv.Type, "internal/rt", "Site") {
+				return true
+			}
+			fs = append(fs, p.siteMechanism(lit, rep)...)
+			return true
+		})
+	}
+	return fs
+}
+
+// kernelSource returns the package's KernelSource string constant and
+// its declaration position.
+func kernelSource(p *Package) (string, token.Pos, bool) {
+	obj, ok := p.Types.Scope().Lookup("KernelSource").(*types.Const)
+	if !ok || obj.Val().Kind() != constant.String {
+		return "", 0, false
+	}
+	return constant.StringVal(obj.Val()), obj.Pos(), true
+}
+
+// siteMechanism checks one rt.Site literal against the heuristic.
+func (p *Package) siteMechanism(lit *ast.CompositeLit, rep *core.Report) []Finding {
+	var nameExpr, mechExpr ast.Expr
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if k, ok := kv.Key.(*ast.Ident); ok {
+			switch k.Name {
+			case "Name":
+				nameExpr = kv.Value
+			case "Mech":
+				mechExpr = kv.Value
+			}
+		}
+	}
+	if nameExpr == nil || mechExpr == nil {
+		return nil // unnamed or untagged; site-hygiene owns naming
+	}
+	tv, ok := p.Info.Types[nameExpr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	name := constant.StringVal(tv.Value)
+	if !siteNameRE.MatchString(name) {
+		return nil
+	}
+	tag := name[strings.Index(name, ".")+1:]
+	if strings.Contains(tag, ".") {
+		return nil // deeper qualification than the <bench>.<var> scheme
+	}
+	tagged, ok := p.mechConstName(mechExpr)
+	if !ok {
+		return nil
+	}
+	want, found := rep.MechanismForName(tag)
+	if !found {
+		return nil // tag does not map onto the kernel
+	}
+	wantName := "Cache"
+	if want == core.ChooseMigrate {
+		wantName = "Migrate"
+	}
+	if tagged == wantName {
+		return nil
+	}
+	return []Finding{p.finding("mechanism-consistency", mechExpr.Pos(),
+		"site %q is tagged %s but the kernel heuristic chooses %s for %q",
+		name, tagged, wantName, tag)}
+}
+
+// mechConstName resolves a Mech field value to the rt constant it names
+// ("Migrate" or "Cache", possibly through the olden re-export).
+func (p *Package) mechConstName(e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Const)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != p.mod()+"/internal/rt" && path != p.mod()+"/olden" {
+		return "", false
+	}
+	if n := obj.Name(); n == "Migrate" || n == "Cache" {
+		return n, true
+	}
+	return "", false
+}

@@ -1,0 +1,28 @@
+// Package badmech is a negative fixture for the mechanism-consistency
+// check: its kernel is a plain tree traversal whose recursion combines
+// the child affinities to 1−(1−0.9)(1−0.9) = 99% ≥ the 90% threshold,
+// so the heuristic migrates t — but the site literal claims caching.
+package badmech
+
+import "repro/internal/rt"
+
+// KernelSource is the mini-C program this package pretends to be the
+// compiled output of.
+const KernelSource = `
+struct tree {
+  int val;
+  struct tree *left __affinity(90);
+  struct tree *right __affinity(90);
+};
+
+int Traverse(struct tree *t) {
+  if (t == NULL) return 0;
+  return Traverse(t->left) + Traverse(t->right) + t->val;
+}
+`
+
+var (
+	siteT = &rt.Site{Name: "badmech.t", Mech: rt.Cache}       // BAD: heuristic migrates t
+	siteV = &rt.Site{Name: "badmech.tree", Mech: rt.Migrate}  // ok: struct-name tag, migrates
+	aux   = &rt.Site{Name: "badmech.scratch", Mech: rt.Cache} // ok: tag not in the kernel
+)

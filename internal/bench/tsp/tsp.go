@@ -39,7 +39,7 @@ struct city {
   struct city *left __affinity(90);
   struct city *right __affinity(90);
   struct city *next __affinity(95);
-  struct city *prev __affinity(95);
+  struct city *prev;
 };
 
 struct city * merge(struct city *a, struct city *b, struct city *t) {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the affinity lattice that loopMatrix hands to the
+// generic solver: the paper's branch-join rule must behave as a real
+// semilattice join on the values the analysis actually produces
+// (well-formed symvals: an identity value always has affinity 1 — it is
+// the untouched start-of-iteration value of its base).
+
+var latticeVars = []string{"p", "q", "r"}
+
+func randWellFormedSymval(r *rand.Rand) symval {
+	switch r.Intn(3) {
+	case 0:
+		return unknownVal
+	case 1:
+		return symval{known: true, base: latticeVars[r.Intn(len(latticeVars))], aff: 1, ident: true}
+	default:
+		return symval{known: true, base: latticeVars[r.Intn(len(latticeVars))], aff: float64(r.Intn(101)) / 100}
+	}
+}
+
+func randEnv(r *rand.Rand) env {
+	e := env{}
+	for _, v := range latticeVars {
+		if r.Intn(4) > 0 { // occasionally leave a variable out entirely
+			e[v] = randWellFormedSymval(r)
+		}
+	}
+	return e
+}
+
+func randEnvVal(r *rand.Rand) envVal {
+	if r.Intn(5) == 0 {
+		return envVal{} // bottom: an unreachable path
+	}
+	return envVal{reachable: true, vals: randEnv(r)}
+}
+
+func TestEnvJoinCommutative(t *testing.T) {
+	lat := envLattice{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := randEnvVal(r), randEnvVal(r)
+		ab, ba := lat.Join(a, b), lat.Join(b, a)
+		if !lat.Equal(ab, ba) {
+			t.Fatalf("join not commutative:\n a = %#v\n b = %#v\n ab = %#v\n ba = %#v", a, b, ab, ba)
+		}
+	}
+}
+
+func TestEnvJoinIdempotent(t *testing.T) {
+	lat := envLattice{}
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		a := randEnvVal(r)
+		if aa := lat.Join(a, a); !lat.Equal(aa, a) {
+			t.Fatalf("join not idempotent:\n a = %#v\n aa = %#v", a, aa)
+		}
+	}
+}
+
+func TestEnvJoinBottomIsIdentity(t *testing.T) {
+	lat := envLattice{}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		a := randEnvVal(r)
+		if !lat.Equal(lat.Join(lat.Bottom(), a), a) || !lat.Equal(lat.Join(a, lat.Bottom()), a) {
+			t.Fatalf("bottom is not a join identity for %#v", a)
+		}
+	}
+}
+
+// The one-sided omission rule, stated as a property: a variable updated
+// in only one of two reachable branches never survives the join as a
+// known value (§4.2: only updates occurring on every iteration count).
+func TestEnvJoinOmitsOneSided(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 2000; i++ {
+		a, b := randEnv(r), randEnv(r)
+		out := join(a, b)
+		for v, val := range out {
+			if !val.known {
+				continue
+			}
+			va, aok := a[v]
+			vb, bok := b[v]
+			if !aok || !bok || !va.known || !vb.known {
+				t.Fatalf("join invented a known value for %s: %#v (a=%#v b=%#v)", v, val, a, b)
+			}
+			if va.ident != vb.ident {
+				t.Fatalf("one-sided update for %s survived the join: %#v", v, val)
+			}
+		}
+	}
+}

@@ -27,6 +27,10 @@ import (
 //   - bottleneck-demotion (warning): a loop instance the second heuristic
 //     pass demoted to caching (Figure 5). The demotion is correct but
 //     silent in the report's summary line; -lint surfaces every one.
+//
+// Four further checks — unreachable, use-before-init, dead-store and
+// nil-deref — are solved over the control-flow graph with the generic
+// worklist engine; they live in lintflow.go.
 
 // DiagSeverity ranks a diagnostic.
 type DiagSeverity int
@@ -60,13 +64,18 @@ func (d Diag) String() string {
 }
 
 // Lint runs every lint check over the analyzed program and returns the
-// diagnostics sorted by position.
+// diagnostics in deterministic order: by position, then severity (errors
+// first), then code and message. Individual checks may emit in any order
+// (the dataflow lints iterate block IDs, not source lines), so the sort
+// here is what keeps golden files and -json output stable as checks are
+// added.
 func (r *Report) Lint() []Diag {
 	var diags []Diag
 	diags = append(diags, lintAffinityRange(r.Prog)...)
 	diags = append(diags, lintUnusedAffinity(r)...)
 	diags = append(diags, lintShadowedInduction(r)...)
 	diags = append(diags, lintBottleneckDemotions(r)...)
+	diags = append(diags, lintFlow(r)...)
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Line != b.Pos.Line {
@@ -74,6 +83,9 @@ func (r *Report) Lint() []Diag {
 		}
 		if a.Pos.Col != b.Pos.Col {
 			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev // errors before warnings at one position
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code

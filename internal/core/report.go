@@ -81,6 +81,39 @@ func (r *Report) MechanismOf(loopPrefix, v string) Mechanism {
 	return ChooseCache
 }
 
+// MechanismForName reports the mechanism the heuristic assigned to the
+// dereference sites an rt.Site tag stands for. The tag is the variable
+// segment of a site name ("treeadd.t" → "t") and is matched per function
+// against the flat namespace the subset gives each function: a pointer
+// variable with that name, or any pointer variable whose pointed-to
+// struct has that name ("mst.vertex" matches a `struct vertex *v`).
+// The result is ChooseMigrate when any matching dereference site
+// migrates; found is false when no site matches, i.e. the tag does not
+// map onto the kernel at all.
+func (r *Report) MechanismForName(tag string) (mech Mechanism, found bool) {
+	match := map[string]map[string]bool{}
+	for _, fn := range r.Prog.Funcs {
+		vars := map[string]bool{}
+		for v, st := range buildTypeEnv(fn) {
+			if v == tag || st == tag {
+				vars[v] = true
+			}
+		}
+		match[fn.Name] = vars
+	}
+	mech = ChooseCache
+	for _, s := range r.DerefSites() {
+		if !match[s.Fn][s.Base] {
+			continue
+		}
+		found = true
+		if s.Mech == ChooseMigrate {
+			mech = ChooseMigrate
+		}
+	}
+	return mech, found
+}
+
 // SitesString renders the per-dereference-site mechanism assignment — the
 // view of the analysis closest to what the compiler would emit.
 func (r *Report) SitesString() string {

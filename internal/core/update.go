@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/lang"
+import (
+	"repro/internal/dataflow"
+	"repro/internal/lang"
+	"repro/internal/lang/cfg"
+)
 
 // Matrix is an update matrix (§4.2): Matrix[s][t] is the path affinity of
 // the update of variable s by variable t — present when s's value at the
@@ -260,20 +264,12 @@ func killAssigned(ev env, s lang.Stmt) {
 	}
 }
 
-// evalStmt interprets a statement over symbolic values. It returns the
-// outgoing environment and whether every path through the statement leaves
-// the loop (returns).
-func (a *analysis) evalStmt(ev env, s lang.Stmt) (env, bool) {
+// transferStmt applies one straight-line statement's effect to the
+// symbolic environment in place. Nested syntactic loops arrive opaque
+// (body-mode CFG blocks keep them as single statements) and kill their
+// assignments; returns and expression statements change no local values.
+func (a *analysis) transferStmt(ev env, s lang.Stmt) {
 	switch s := s.(type) {
-	case *lang.Block:
-		term := false
-		for _, st := range s.Stmts {
-			if term {
-				break // unreachable
-			}
-			ev, term = a.evalStmt(ev, st)
-		}
-		return ev, term
 	case *lang.VarDecl:
 		if s.Type.IsPtr() {
 			if s.Init != nil {
@@ -282,7 +278,6 @@ func (a *analysis) evalStmt(ev env, s lang.Stmt) (env, bool) {
 				ev[s.Name] = unknownVal
 			}
 		}
-		return ev, false
 	case *lang.Assign:
 		if id, ok := s.LHS.(*lang.Ident); ok {
 			if _, isPtr := a.te[id.Name]; isPtr {
@@ -290,54 +285,87 @@ func (a *analysis) evalStmt(ev env, s lang.Stmt) (env, bool) {
 			}
 		}
 		// Heap stores (p->f = …) do not change local variables.
-		return ev, false
-	case *lang.If:
-		e1, t1 := a.evalStmt(ev.clone(), s.Then)
-		e2, t2 := ev, false
-		if s.Else != nil {
-			e2, t2 = a.evalStmt(ev.clone(), s.Else)
-		}
-		switch {
-		case t1 && t2:
-			return e1, true
-		case t1:
-			return e2, false
-		case t2:
-			return e1, false
-		default:
-			return join(e1, e2), false
-		}
-	case *lang.While:
-		killAssigned(ev, s.Body)
-		return ev, false
-	case *lang.For:
-		if s.Init != nil {
-			killAssigned(ev, s.Init)
-		}
-		killAssigned(ev, s.Body)
-		if s.Post != nil {
-			killAssigned(ev, s.Post)
-		}
-		return ev, false
-	case *lang.Return:
-		return ev, true
-	case *lang.ExprStmt:
-		return ev, false
+	case *lang.While, *lang.For:
+		killAssigned(ev, s)
 	}
-	return ev, false
 }
 
-// loopMatrix computes the update matrix of a syntactic loop: run one
-// iteration of the body symbolically from the identity environment and
-// record every non-identity derivation.
-func (a *analysis) loopMatrix(body lang.Stmt, post lang.Stmt) Matrix {
-	ev := identityEnv(a.te)
-	ev, _ = a.evalStmt(ev, body)
-	if post != nil {
-		ev, _ = a.evalStmt(ev, post)
+// envVal is the dataflow value for the update-matrix problem: a symbolic
+// environment on reachable paths, bottom (reachable=false) elsewhere.
+// Bottom arises at blocks cut off by a return, whose values must not
+// reach the iteration's end.
+type envVal struct {
+	reachable bool
+	vals      env
+}
+
+// envLattice lifts the paper's branch-join rule to a join-semilattice:
+// bottom is the unreachable path (join identity) and joining two
+// reachable environments averages matching updates and omits one-sided
+// ones (the join function above).
+type envLattice struct{}
+
+func (envLattice) Bottom() envVal { return envVal{} }
+
+func (envLattice) Join(a, b envVal) envVal {
+	if !a.reachable {
+		return b
 	}
+	if !b.reachable {
+		return a
+	}
+	return envVal{reachable: true, vals: join(a.vals, b.vals)}
+}
+
+func (envLattice) Equal(a, b envVal) bool {
+	if a.reachable != b.reachable {
+		return false
+	}
+	if !a.reachable {
+		return true
+	}
+	if len(a.vals) != len(b.vals) {
+		return false
+	}
+	for k, v := range a.vals {
+		if b.vals[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// loopMatrix computes the update matrix of a syntactic loop (§4.2) by
+// solving a forward dataflow problem over the acyclic per-iteration CFG
+// of the body: start from the identity environment, apply each block's
+// statements, and let the lattice join implement the paper's branch-merge
+// rule at every merge point. Whatever non-identity derivations reach the
+// exit — the head of the next iteration — become matrix entries. Paths
+// that return leave the loop; their blocks have no successors, so their
+// environments never reach the exit.
+func (a *analysis) loopMatrix(body lang.Stmt, post lang.Stmt) Matrix {
+	g := cfg.BuildBody(body, post)
+	res := dataflow.Solve(g, dataflow.Problem[envVal]{
+		Lattice:  envLattice{},
+		Dir:      dataflow.Forward,
+		Boundary: envVal{reachable: true, vals: identityEnv(a.te)},
+		Transfer: func(n int, in envVal) envVal {
+			if !in.reachable {
+				return in
+			}
+			ev := in.vals.clone()
+			for _, s := range g.Block(n).Stmts {
+				a.transferStmt(ev, s)
+			}
+			return envVal{reachable: true, vals: ev}
+		},
+	})
 	m := Matrix{}
-	for v, val := range ev {
+	exit := res.Out[g.Exit()]
+	if !exit.reachable {
+		return m
+	}
+	for v, val := range exit.vals {
 		if val.known && !val.ident {
 			m.set(v, val.base, val.aff)
 		}
@@ -397,8 +425,18 @@ func branchCombine(a, b recUpds) recUpds {
 
 // recCalls walks a statement collecting, along the way, the combined
 // updates of the function's parameters at recursive call sites. It threads
-// the symbolic environment like evalStmt. Calls inside nested syntactic
-// loops are ignored (their per-iteration updates are not loop-invariant).
+// the symbolic environment through transferStmt. Calls inside nested
+// syntactic loops are ignored (their per-iteration updates are not
+// loop-invariant).
+//
+// Unlike loopMatrix, this walk is not re-hosted on the CFG solver: the
+// recursion rule merges per-branch call-update deltas (branchCombine
+// averages only across branches that both recurse), and that combination
+// is not path-composable — branchCombine(seq(p,u1), seq(p,u2)) differs
+// from seq(p, branchCombine(u1,u2)) because the omission rule must see
+// each branch's delta, not the whole path. A structured fold over the
+// syntax is the natural shape; the shared join rule itself (join /
+// avgCombine) is the same code the lattice uses.
 func (a *analysis) recCalls(ev env, s lang.Stmt) (env, recUpds, bool) {
 	switch s := s.(type) {
 	case *lang.Block:
@@ -468,15 +506,14 @@ func (a *analysis) recCalls(ev env, s lang.Stmt) (env, recUpds, bool) {
 		if s.Init != nil {
 			_, ups = a.callUpdates(ev, s.Init)
 		}
-		ev2, _ := a.evalStmt(ev, s)
-		return ev2, ups, false
+		a.transferStmt(ev, s)
+		return ev, ups, false
 	case *lang.Assign:
 		_, ups := a.callUpdates(ev, s.RHS)
-		ev2, _ := a.evalStmt(ev, s)
-		return ev2, ups, false
+		a.transferStmt(ev, s)
+		return ev, ups, false
 	}
-	ev2, term := a.evalStmt(ev, s)
-	return ev2, recUpds{}, term
+	return ev, recUpds{}, false
 }
 
 // callUpdates extracts recursive-call updates from an expression (calls can

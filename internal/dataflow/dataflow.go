@@ -1,0 +1,132 @@
+// Package dataflow is a generic worklist fixpoint solver for forward and
+// backward dataflow problems over a join-semilattice, in the classic
+// Kildall formulation. It is stdlib-only and graph-agnostic: any graph
+// exposing integer adjacency (in practice internal/lang/cfg) plugs in,
+// and the value domain is a type parameter constrained only by a small
+// Lattice interface.
+//
+// Termination is the usual argument: with a monotone transfer function
+// over a lattice of bounded height h, each node's output can change at
+// most h times, so the solver performs at most Len + edges×h transfer
+// applications. Result.Transfers reports the actual count so tests can
+// assert the bound.
+package dataflow
+
+// Graph is the integer adjacency view of a control-flow graph. Node IDs
+// are 0..Len()-1; Entry has no predecessors and Exit no successors.
+type Graph interface {
+	Len() int
+	Entry() int
+	Exit() int
+	Succs(n int) []int
+	Preds(n int) []int
+}
+
+// Lattice defines the value domain: a join-semilattice with a least
+// element. Join and Equal must not mutate their arguments, Join must be
+// commutative and idempotent with Bottom as identity, and the lattice
+// must have bounded height for the solver to terminate.
+type Lattice[V any] interface {
+	Bottom() V
+	Join(a, b V) V
+	Equal(a, b V) bool
+}
+
+// Direction orients a problem.
+type Direction int
+
+const (
+	// Forward propagates values along edges from the entry.
+	Forward Direction = iota
+	// Backward propagates values against edges from the exit.
+	Backward
+)
+
+// Problem is one dataflow problem instance. Transfer maps a node's input
+// value (the join over its incoming values in the propagation direction)
+// to its output and must be monotone. TransferEdge, when non-nil, refines
+// a value flowing across one edge (from, to are node IDs in original
+// graph orientation for Forward, and swapped roles for Backward); it is
+// how branch conditions sharpen facts on their true/false edges.
+type Problem[V any] struct {
+	Lattice      Lattice[V]
+	Dir          Direction
+	Boundary     V // value entering the boundary node (entry or exit)
+	Transfer     func(n int, in V) V
+	TransferEdge func(from, to int, v V) V // optional
+}
+
+// Result holds the fixpoint. In[n] is the input to node n's transfer (at
+// block entry for Forward problems, at block exit for Backward ones) and
+// Out[n] its output. Transfers counts transfer-function applications, for
+// termination-bound assertions.
+type Result[V any] struct {
+	In, Out   []V
+	Transfers int
+}
+
+// Solve runs the worklist iteration to a fixpoint and returns it.
+func Solve[V any](g Graph, p Problem[V]) Result[V] {
+	n := g.Len()
+	in := make([]V, n)
+	out := make([]V, n)
+	for i := 0; i < n; i++ {
+		in[i] = p.Lattice.Bottom()
+		out[i] = p.Lattice.Bottom()
+	}
+
+	flowInto, flowFrom := g.Preds, g.Succs
+	boundary := g.Entry()
+	if p.Dir == Backward {
+		flowInto, flowFrom = g.Succs, g.Preds
+		boundary = g.Exit()
+	}
+
+	// FIFO worklist with membership dedup, seeded in propagation order so
+	// the first sweep visits sources before sinks on reducible graphs.
+	queue := make([]int, 0, n)
+	queued := make([]bool, n)
+	push := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p.Dir == Backward {
+			push(n - 1 - i)
+		} else {
+			push(i)
+		}
+	}
+
+	transfers := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+
+		v := p.Lattice.Bottom()
+		if i == boundary {
+			v = p.Lattice.Join(v, p.Boundary)
+		}
+		for _, q := range flowInto(i) {
+			qv := out[q]
+			if p.TransferEdge != nil {
+				qv = p.TransferEdge(q, i, qv)
+			}
+			v = p.Lattice.Join(v, qv)
+		}
+		in[i] = v
+
+		nv := p.Transfer(i, v)
+		transfers++
+		if !p.Lattice.Equal(nv, out[i]) {
+			out[i] = nv
+			for _, s := range flowFrom(i) {
+				push(s)
+			}
+		}
+	}
+	return Result[V]{In: in, Out: out, Transfers: transfers}
+}

@@ -1,0 +1,223 @@
+package dataflow
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// adjGraph is a test graph given by explicit adjacency.
+type adjGraph struct {
+	succs [][]int
+	preds [][]int
+}
+
+func newAdjGraph(n int, edges [][2]int) *adjGraph {
+	g := &adjGraph{succs: make([][]int, n), preds: make([][]int, n)}
+	for _, e := range edges {
+		g.succs[e[0]] = append(g.succs[e[0]], e[1])
+		g.preds[e[1]] = append(g.preds[e[1]], e[0])
+	}
+	return g
+}
+
+func (g *adjGraph) Len() int          { return len(g.succs) }
+func (g *adjGraph) Entry() int        { return 0 }
+func (g *adjGraph) Exit() int         { return len(g.succs) - 1 }
+func (g *adjGraph) Succs(n int) []int { return g.succs[n] }
+func (g *adjGraph) Preds(n int) []int { return g.preds[n] }
+
+// bits is a powerset lattice over 16 elements: the canonical bounded
+// lattice (height 16) for gen/kill problems.
+type bits struct{}
+
+func (bits) Bottom() uint16          { return 0 }
+func (bits) Join(a, b uint16) uint16 { return a | b }
+func (bits) Equal(a, b uint16) bool  { return a == b }
+
+// TestForwardGenKill checks a reaching-definitions-style problem on a
+// diamond with a loop: 0 -> 1 -> {2,3} -> 4 -> 1, 4 -> 5.
+func TestForwardGenKill(t *testing.T) {
+	g := newAdjGraph(6, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 1}, {4, 5}})
+	gen := []uint16{1 << 0, 0, 1 << 2, 1 << 3, 0, 0}
+	kill := []uint16{0, 0, 1 << 3, 1 << 2, 0, 0}
+	res := Solve[uint16](g, Problem[uint16]{
+		Lattice:  bits{},
+		Dir:      Forward,
+		Boundary: 0,
+		Transfer: func(n int, in uint16) uint16 { return in&^kill[n] | gen[n] },
+	})
+	// Bit 0 reaches everywhere; bits 2 and 3 both reach the exit (one
+	// from each arm, neither killed on the joined path 4->5).
+	if res.Out[5] != 1<<0|1<<2|1<<3 {
+		t.Errorf("Out[5] = %b, want %b", res.Out[5], uint16(1<<0|1<<2|1<<3))
+	}
+	// Inside arm 2, bit 3 is killed.
+	if res.Out[2]&(1<<3) != 0 {
+		t.Errorf("Out[2] = %b, want bit 3 killed", res.Out[2])
+	}
+}
+
+// TestBackwardLiveness checks a liveness-style backward problem: for a
+// Backward problem In[n] is the value at the node's exit.
+func TestBackwardLiveness(t *testing.T) {
+	// 0: a=… ; 1: if … ; 2: use a ; 3: use b ; 4: exit
+	g := newAdjGraph(5, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}})
+	const aBit, bBit = 1 << 0, 1 << 1
+	use := []uint16{0, 0, aBit, bBit, 0}
+	def := []uint16{aBit, 0, 0, 0, 0}
+	res := Solve[uint16](g, Problem[uint16]{
+		Lattice:  bits{},
+		Dir:      Backward,
+		Boundary: 0,
+		Transfer: func(n int, liveOut uint16) uint16 { return liveOut&^def[n] | use[n] },
+	})
+	// Live into node 1: both a and b (one arm each).
+	if res.Out[1] != aBit|bBit {
+		t.Errorf("live-in at 1 = %b, want a|b", res.Out[1])
+	}
+	// Node 0 defines a, so only b is live into it.
+	if res.Out[0] != bBit {
+		t.Errorf("live-in at 0 = %b, want b only", res.Out[0])
+	}
+}
+
+// TestTransferEdge checks per-edge refinement: an edge filter that blocks
+// one bit models a branch condition sharpening a fact on one arm.
+func TestTransferEdge(t *testing.T) {
+	g := newAdjGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	res := Solve[uint16](g, Problem[uint16]{
+		Lattice:  bits{},
+		Dir:      Forward,
+		Boundary: 1<<0 | 1<<1,
+		Transfer: func(n int, in uint16) uint16 { return in },
+		TransferEdge: func(from, to int, v uint16) uint16 {
+			if from == 0 && to == 1 {
+				return v &^ (1 << 1) // the true arm learns bit 1 is off
+			}
+			return v
+		},
+	})
+	if res.In[1] != 1<<0 {
+		t.Errorf("In[1] = %b, want refined to bit 0", res.In[1])
+	}
+	if res.In[2] != 1<<0|1<<1 {
+		t.Errorf("In[2] = %b, want unrefined", res.In[2])
+	}
+	// The join block sees the union again.
+	if res.In[3] != 1<<0|1<<1 {
+		t.Errorf("In[3] = %b, want union", res.In[3])
+	}
+}
+
+// randProblem is a randomized gen/kill instance over a random digraph,
+// generated through testing/quick.
+type randProblem struct {
+	n         int
+	edges     [][2]int
+	gen, kill []uint16
+	boundary  uint16
+}
+
+// Generate implements quick.Generator: a graph of 1–10 nodes with random
+// edges and random monotone gen/kill transfers.
+func (randProblem) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(10)
+	p := randProblem{n: n, gen: make([]uint16, n), kill: make([]uint16, n)}
+	for i := 0; i < n; i++ {
+		p.gen[i] = uint16(r.Intn(1 << 16))
+		p.kill[i] = uint16(r.Intn(1 << 16))
+		for _, j := range r.Perm(n)[:r.Intn(n+1)] {
+			if len(p.edges) < 3*n {
+				p.edges = append(p.edges, [2]int{i, j})
+			}
+		}
+	}
+	p.boundary = uint16(r.Intn(1 << 16))
+	return reflect.ValueOf(p)
+}
+
+// TestSolveFixpointQuick asserts on randomized graphs that Solve reaches
+// a true fixpoint (every node satisfies its dataflow equation) within the
+// monotone termination bound Len + edges×height.
+func TestSolveFixpointQuick(t *testing.T) {
+	f := func(p randProblem) bool {
+		g := newAdjGraph(p.n, p.edges)
+		lat := bits{}
+		prob := Problem[uint16]{
+			Lattice:  lat,
+			Dir:      Forward,
+			Boundary: p.boundary,
+			Transfer: func(n int, in uint16) uint16 { return in&^p.kill[n] | p.gen[n] },
+		}
+		res := Solve[uint16](g, prob)
+		// Fixpoint equations: In = join(preds' Out) [+ boundary at entry],
+		// Out = Transfer(In).
+		for i := 0; i < p.n; i++ {
+			want := lat.Bottom()
+			if i == g.Entry() {
+				want = lat.Join(want, p.boundary)
+			}
+			for _, q := range g.Preds(i) {
+				want = lat.Join(want, res.Out[q])
+			}
+			if !lat.Equal(res.In[i], want) {
+				t.Logf("node %d: In = %b, want %b", i, res.In[i], want)
+				return false
+			}
+			if !lat.Equal(res.Out[i], prob.Transfer(i, res.In[i])) {
+				t.Logf("node %d: Out not Transfer(In)", i)
+				return false
+			}
+		}
+		// Termination bound for a monotone transfer over a height-16
+		// lattice: every node transfers once, then only when a
+		// predecessor's output strictly grows.
+		const height = 16
+		bound := p.n + len(p.edges)*height
+		if res.Transfers > bound {
+			t.Logf("transfers = %d > bound %d (n=%d, edges=%d)", res.Transfers, bound, p.n, len(p.edges))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackwardFixpointQuick mirrors the forward property in the backward
+// direction, where the equations flip orientation.
+func TestBackwardFixpointQuick(t *testing.T) {
+	f := func(p randProblem) bool {
+		g := newAdjGraph(p.n, p.edges)
+		lat := bits{}
+		prob := Problem[uint16]{
+			Lattice:  lat,
+			Dir:      Backward,
+			Boundary: p.boundary,
+			Transfer: func(n int, in uint16) uint16 { return in&^p.kill[n] | p.gen[n] },
+		}
+		res := Solve[uint16](g, prob)
+		for i := 0; i < p.n; i++ {
+			want := lat.Bottom()
+			if i == g.Exit() {
+				want = lat.Join(want, p.boundary)
+			}
+			for _, q := range g.Succs(i) {
+				want = lat.Join(want, res.Out[q])
+			}
+			if !lat.Equal(res.In[i], want) {
+				return false
+			}
+			if !lat.Equal(res.Out[i], prob.Transfer(i, res.In[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

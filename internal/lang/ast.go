@@ -262,3 +262,51 @@ func (*Call) expr()     {}
 func (*Touch) expr()    {}
 func (*Binary) expr()   {}
 func (*Unary) expr()    {}
+
+// StmtPos returns the source position of a statement.
+func StmtPos(s Stmt) Pos {
+	switch s := s.(type) {
+	case *Block:
+		return s.Pos
+	case *VarDecl:
+		return s.Pos
+	case *Assign:
+		return s.Pos
+	case *If:
+		return s.Pos
+	case *While:
+		return s.Pos
+	case *For:
+		return s.Pos
+	case *Return:
+		return s.Pos
+	case *ExprStmt:
+		return s.Pos
+	}
+	return Pos{}
+}
+
+// ExprPos returns the source position of an expression.
+func ExprPos(e Expr) Pos {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Pos
+	case *IntLit:
+		return e.Pos
+	case *FloatLit:
+		return e.Pos
+	case *Null:
+		return e.Pos
+	case *Arrow:
+		return e.Pos
+	case *Call:
+		return e.Pos
+	case *Touch:
+		return e.Pos
+	case *Binary:
+		return e.Pos
+	case *Unary:
+		return e.Pos
+	}
+	return Pos{}
+}

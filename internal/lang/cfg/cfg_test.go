@@ -1,0 +1,374 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// parseFn parses a source and returns the named function.
+func parseFn(t *testing.T, src, name string) *lang.FuncDecl {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := prog.Func(name)
+	if fn == nil {
+		t.Fatalf("no function %q", name)
+	}
+	return fn
+}
+
+const listSrc = `
+struct n { struct n *next __affinity(80); int v; };
+
+int walk(struct n *s) {
+  int c;
+  c = 0;
+  while (s != NULL) {
+    c = c + s->v;
+    s = s->next;
+  }
+  return c;
+}
+
+int pick(struct n *s, int k) {
+  if (k) {
+    return s->v;
+  } else {
+    return 0;
+  }
+}
+`
+
+func TestBuildShape(t *testing.T) {
+	g := Build(parseFn(t, listSrc, "walk"))
+	if g.EntryBlock().ID != g.Entry() || g.ExitBlock().ID != g.Exit() {
+		t.Fatalf("entry/exit views disagree")
+	}
+	if len(g.Preds(g.Entry())) != 0 {
+		t.Errorf("entry has predecessors: %v", g.Preds(g.Entry()))
+	}
+	if len(g.Succs(g.Exit())) != 0 {
+		t.Errorf("exit has successors: %v", g.Succs(g.Exit()))
+	}
+	// The while head must be a conditional block with a back edge.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			if head != nil {
+				t.Fatalf("expected one conditional block, found %d and %d", head.ID, b.ID)
+			}
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no conditional block for the while loop")
+	}
+	tSucc, fSucc, ok := head.Branch()
+	if !ok {
+		t.Fatal("while head is not a two-way branch")
+	}
+	// The body (true successor) must eventually lead back to the head.
+	back := false
+	for _, p := range head.Preds() {
+		if p.ID >= tSucc.ID {
+			back = true
+		}
+	}
+	if !back {
+		t.Errorf("no back edge into while head %d (preds %v)", head.ID, g.Preds(head.ID))
+	}
+	if fSucc.ID == tSucc.ID {
+		t.Errorf("true and false successors coincide: %d", fSucc.ID)
+	}
+}
+
+func TestBuildIfElseJoins(t *testing.T) {
+	g := Build(parseFn(t, listSrc, "pick"))
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no conditional block")
+	}
+	tb, fb, ok := cond.Branch()
+	if !ok || tb == fb {
+		t.Fatalf("bad branch: %v %v %v", tb, fb, ok)
+	}
+	// Both branches return, so the exit has (at least) those two return
+	// blocks among its predecessors.
+	if len(g.Preds(g.Exit())) < 2 {
+		t.Errorf("exit preds = %v, want both return paths", g.Preds(g.Exit()))
+	}
+}
+
+func TestBuildBodyReturnLeavesLoop(t *testing.T) {
+	prog, err := lang.Parse(`
+struct n { struct n *next; };
+void f(struct n *s) {
+  while (s != NULL) {
+    if (s->next == NULL) { return; }
+    s = s->next;
+  }
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Funcs[0].Body.Stmts[0].(*lang.While).Body
+	g := BuildBody(body, nil)
+	// The block holding the return must have no successors.
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if _, ok := s.(*lang.Return); ok && len(b.Succs()) != 0 {
+				t.Errorf("return block %d has successors %v", b.ID, g.Succs(b.ID))
+			}
+		}
+	}
+	// The fall-through path (s = s->next) still reaches the exit.
+	reach := g.Reachable()
+	if !reach[g.Exit()] {
+		t.Error("exit unreachable: fall-through path lost")
+	}
+}
+
+func TestBuildBodyKeepsNestedLoopsOpaque(t *testing.T) {
+	prog, err := lang.Parse(`
+struct n { struct n *next; };
+void f(struct n *s, struct n *q) {
+  while (s != NULL) {
+    while (q != NULL) { q = q->next; }
+    s = s->next;
+  }
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	body := prog.Funcs[0].Body.Stmts[0].(*lang.While).Body
+	g := BuildBody(body, nil)
+	opaque := false
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			t.Errorf("body graph has conditional block %d; nested loop was expanded", b.ID)
+		}
+		for _, s := range b.Stmts {
+			if _, ok := s.(*lang.While); ok {
+				opaque = true
+			}
+		}
+	}
+	if !opaque {
+		t.Error("nested while not kept as an opaque statement")
+	}
+}
+
+func TestReachableConstantBranches(t *testing.T) {
+	fn := parseFn(t, `
+struct n { struct n *next; };
+int f(struct n *s) {
+  int a;
+  a = 1;
+  if (0) { a = 2; }
+  while (1) { a = a + 1; }
+  return a;
+}
+`, "f")
+	g := Build(fn)
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *lang.Assign:
+				if rhs, ok := st.RHS.(*lang.IntLit); ok && rhs.V == 2 && reach[b.ID] {
+					t.Errorf("if(0) body (block %d) should be unreachable", b.ID)
+				}
+			case *lang.Return:
+				if reach[b.ID] {
+					t.Errorf("code after while(1) (block %d) should be unreachable", b.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	g := Build(parseFn(t, listSrc, "walk"))
+	sums := g.Summaries()
+	// Find the loop-body block: it defines both c and s, uses both
+	// (upward-exposed: c and s are read before their defs), and derefs s.
+	found := false
+	for i, s := range sums {
+		if s.Defs["c"] && s.Defs["s"] {
+			found = true
+			if !s.Uses["c"] || !s.Uses["s"] {
+				t.Errorf("block %d uses = %v, want c and s upward-exposed", i, s.Uses)
+			}
+			if len(s.Derefs) != 2 || s.Derefs[0].Base != "s" || s.Derefs[1].Base != "s" {
+				t.Errorf("block %d derefs = %v, want two derefs of s", i, s.Derefs)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("loop body block not found in summaries")
+	}
+}
+
+func TestExprDerefsChains(t *testing.T) {
+	prog, err := lang.Parse(`
+struct n { struct n *next; int v; };
+int f(struct n *s, struct n *q) {
+  return g(s->next->v, q) + q->v;
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*lang.Return)
+	ds := ExprDerefs(ret.E)
+	if len(ds) != 2 || ds[0].Base != "s" || ds[1].Base != "q" {
+		t.Fatalf("derefs = %v, want one maximal chain on s and one on q", ds)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := Build(parseFn(t, listSrc, "pick"))
+	dom := g.Dominators()
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	tb, fb, _ := cond.Branch()
+	if !dom.Dominates(g.Entry(), g.Exit()) {
+		t.Error("entry must dominate exit")
+	}
+	if !dom.Dominates(cond.ID, tb.ID) || !dom.Dominates(cond.ID, fb.ID) {
+		t.Error("branch must dominate both arms")
+	}
+	if dom.Dominates(tb.ID, g.Exit()) || dom.Dominates(fb.ID, g.Exit()) {
+		t.Error("neither arm alone dominates the exit")
+	}
+	if dom.Idom(g.Entry()) != -1 {
+		t.Errorf("entry idom = %d, want -1", dom.Idom(g.Entry()))
+	}
+}
+
+// randStmt generates a random structured statement tree over variables
+// s (pointer) and a (int), exercising every construct the builder
+// handles.
+func randStmt(r *rand.Rand, depth int) lang.Stmt {
+	if depth <= 0 {
+		return &lang.Assign{LHS: &lang.Ident{Name: "a"}, RHS: &lang.IntLit{V: r.Int63n(10)}}
+	}
+	switch r.Intn(7) {
+	case 0:
+		n := r.Intn(3)
+		b := &lang.Block{}
+		for i := 0; i < n; i++ {
+			b.Stmts = append(b.Stmts, randStmt(r, depth-1))
+		}
+		return b
+	case 1:
+		s := &lang.If{Cond: randCond(r), Then: randStmt(r, depth-1)}
+		if r.Intn(2) == 0 {
+			s.Else = randStmt(r, depth-1)
+		}
+		return s
+	case 2:
+		return &lang.While{Cond: randCond(r), Body: randStmt(r, depth-1)}
+	case 3:
+		return &lang.For{
+			Init: &lang.Assign{LHS: &lang.Ident{Name: "a"}, RHS: &lang.IntLit{V: 0}},
+			Cond: randCond(r),
+			Post: &lang.Assign{LHS: &lang.Ident{Name: "a"}, RHS: &lang.IntLit{V: 1}},
+			Body: randStmt(r, depth-1),
+		}
+	case 4:
+		return &lang.Return{}
+	case 5:
+		return &lang.Assign{LHS: &lang.Ident{Name: "s"}, RHS: &lang.Arrow{X: &lang.Ident{Name: "s"}, Field: "next"}}
+	default:
+		return &lang.ExprStmt{E: &lang.Call{Name: "g", Args: []lang.Expr{&lang.Ident{Name: "a"}}}}
+	}
+}
+
+func randCond(r *rand.Rand) lang.Expr {
+	switch r.Intn(3) {
+	case 0:
+		return &lang.IntLit{V: r.Int63n(2)}
+	case 1:
+		return &lang.Ident{Name: "a"}
+	default:
+		return &lang.Binary{Op: "!=", L: &lang.Ident{Name: "s"}, R: &lang.Null{}}
+	}
+}
+
+// TestRandomCFGInvariants checks structural invariants of the builder on
+// randomized statement trees: adjacency symmetry, branch arity, entry and
+// exit degree, and dominator sanity.
+func TestRandomCFGInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		fn := &lang.FuncDecl{
+			Name:   "f",
+			Params: []*lang.Param{{Name: "s", Type: lang.Type{Kind: lang.TypePtr, Struct: "n"}}},
+			Body:   &lang.Block{Stmts: []lang.Stmt{randStmt(r, 4)}},
+		}
+		for _, mode := range []string{"full", "body"} {
+			var g *Graph
+			if mode == "full" {
+				g = Build(fn)
+			} else {
+				g = BuildBody(fn.Body, nil)
+			}
+			if len(g.Preds(g.Entry())) != 0 {
+				t.Fatalf("trial %d %s: entry has preds", trial, mode)
+			}
+			if len(g.Succs(g.Exit())) != 0 {
+				t.Fatalf("trial %d %s: exit has succs", trial, mode)
+			}
+			for i, b := range g.Blocks {
+				if b.ID != i {
+					t.Fatalf("trial %d %s: block %d has ID %d", trial, mode, i, b.ID)
+				}
+				if b.Cond != nil && len(b.Succs()) != 2 {
+					t.Fatalf("trial %d %s: conditional block %d has %d succs", trial, mode, i, len(b.Succs()))
+				}
+				for _, s := range b.Succs() {
+					if !containsBlock(s.Preds(), b) {
+						t.Fatalf("trial %d %s: edge %d->%d not mirrored in preds", trial, mode, b.ID, s.ID)
+					}
+				}
+				for _, p := range b.Preds() {
+					if !containsBlock(p.Succs(), b) {
+						t.Fatalf("trial %d %s: pred edge %d->%d not mirrored in succs", trial, mode, p.ID, b.ID)
+					}
+				}
+			}
+			dom := g.Dominators()
+			reach := g.Reachable()
+			for i := range g.Blocks {
+				if i != g.Entry() && reach[i] && !dom.Dominates(g.Entry(), i) {
+					t.Fatalf("trial %d %s: entry does not dominate reachable block %d", trial, mode, i)
+				}
+			}
+		}
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package cfg
+
+// Dominator computation: the Cooper–Harvey–Kennedy iterative algorithm
+// ("A Simple, Fast Dominance Algorithm") over a reverse postorder. The
+// graphs here are tiny (tens of blocks), so the simple O(N²) worst case is
+// irrelevant and the data structure stays a flat idom array.
+
+// DomTree is the immediate-dominator tree of a graph's reachable blocks.
+type DomTree struct {
+	idom []int // idom[b] = immediate dominator; -1 for entry and unreachable blocks
+	rpo  []int // rpo[b] = reverse-postorder number; -1 for unreachable blocks
+}
+
+// Dominators computes the dominator tree over the blocks reachable from
+// the entry along plain edges (constant conditions are not folded here;
+// use Reachable for executable reachability).
+func (g *Graph) Dominators() *DomTree {
+	n := len(g.Blocks)
+	post := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(i int)
+	dfs = func(i int) {
+		seen[i] = true
+		for _, s := range g.succIDs[i] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, i)
+	}
+	entry := g.entry.ID
+	dfs(entry)
+
+	d := &DomTree{idom: make([]int, n), rpo: make([]int, n)}
+	for i := range d.idom {
+		d.idom[i] = -1
+		d.rpo[i] = -1
+	}
+	// Reverse postorder: post is postorder, so number from the back.
+	order := make([]int, 0, len(post)) // blocks in RPO
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpo[post[i]] = len(order)
+		order = append(order, post[i])
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for d.rpo[a] > d.rpo[b] {
+				a = d.idom[a]
+			}
+			for d.rpo[b] > d.rpo[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+
+	d.idom[entry] = entry // sentinel so intersect terminates
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.predIDs[b] {
+				if d.rpo[p] < 0 || d.idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[entry] = -1
+	return d
+}
+
+// Idom returns the immediate dominator of block b, or -1 for the entry
+// and for blocks unreachable from it.
+func (d *DomTree) Idom(b int) int { return d.idom[b] }
+
+// Dominates reports whether block a dominates block b (reflexively).
+// Unreachable blocks are dominated by nothing and dominate nothing but
+// themselves.
+func (d *DomTree) Dominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b = d.idom[b]; b >= 0; b = d.idom[b] {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package cfg
+
+import "repro/internal/lang"
+
+// This file computes per-block access summaries and the statement- and
+// expression-level def/use/deref helpers they are built from. The helpers
+// are exported because the dataflow lints in internal/core replay them
+// statement by statement with positions attached.
+
+// VarUse is one read of a variable.
+type VarUse struct {
+	Name string
+	Pos  lang.Pos
+}
+
+// Deref is one pointer dereference: a maximal Arrow chain attributed to
+// the local variable at its base, positioned at the arrow adjacent to the
+// base (the access that actually touches the heap first).
+type Deref struct {
+	Base string
+	Pos  lang.Pos
+}
+
+// Summary aggregates one block's variable accesses.
+type Summary struct {
+	// Defs are the variables the block assigns (including everything
+	// assigned inside opaque nested loops in body-mode graphs).
+	Defs map[string]bool
+	// Uses are the upward-exposed reads: variables read before any
+	// definition inside the block.
+	Uses map[string]bool
+	// Derefs are the pointer dereferences in the block, in source order.
+	Derefs []Deref
+}
+
+// Summaries computes the per-block access summaries, indexed by block ID.
+func (g *Graph) Summaries() []*Summary {
+	out := make([]*Summary, len(g.Blocks))
+	for i, b := range g.Blocks {
+		s := &Summary{Defs: map[string]bool{}, Uses: map[string]bool{}}
+		for _, st := range b.Stmts {
+			for _, u := range StmtReads(st) {
+				if !s.Defs[u.Name] {
+					s.Uses[u.Name] = true
+				}
+			}
+			s.Derefs = append(s.Derefs, StmtDerefs(st)...)
+			for _, d := range StmtDefs(st) {
+				s.Defs[d] = true
+			}
+		}
+		if b.Cond != nil {
+			for _, u := range ExprReads(b.Cond) {
+				if !s.Defs[u.Name] {
+					s.Uses[u.Name] = true
+				}
+			}
+			s.Derefs = append(s.Derefs, ExprDerefs(b.Cond)...)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// StmtDefs returns the variables a straight-line statement assigns. For
+// opaque nested loops (body-mode graphs) it returns everything assigned
+// anywhere inside the loop, matching the enclosing analysis's kill set.
+func StmtDefs(s lang.Stmt) []string {
+	var out []string
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			out = append(out, s.Name)
+		case *lang.Assign:
+			if id, ok := s.LHS.(*lang.Ident); ok {
+				out = append(out, id.Name)
+			}
+		case *lang.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Post != nil {
+				walk(s.Post)
+			}
+			walk(s.Body)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// StmtReads returns the variable reads of a straight-line statement in
+// evaluation order. Assigning to a variable does not read it; storing
+// through a field path (p->f = …) reads the base pointer. For opaque
+// nested loops it conservatively returns every read inside the loop.
+func StmtReads(s lang.Stmt) []VarUse {
+	var out []VarUse
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			if s.Init != nil {
+				out = append(out, ExprReads(s.Init)...)
+			}
+		case *lang.Assign:
+			out = append(out, ExprReads(s.RHS)...)
+			if _, ok := s.LHS.(*lang.Ident); !ok {
+				out = append(out, ExprReads(s.LHS)...)
+			}
+		case *lang.If:
+			out = append(out, ExprReads(s.Cond)...)
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			out = append(out, ExprReads(s.Cond)...)
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Cond != nil {
+				out = append(out, ExprReads(s.Cond)...)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		case *lang.Return:
+			if s.E != nil {
+				out = append(out, ExprReads(s.E)...)
+			}
+		case *lang.ExprStmt:
+			out = append(out, ExprReads(s.E)...)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// StmtDerefs returns the pointer dereferences of a straight-line
+// statement in evaluation order (including inside opaque nested loops).
+func StmtDerefs(s lang.Stmt) []Deref {
+	var out []Deref
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			if s.Init != nil {
+				out = append(out, ExprDerefs(s.Init)...)
+			}
+		case *lang.Assign:
+			out = append(out, ExprDerefs(s.RHS)...)
+			out = append(out, ExprDerefs(s.LHS)...)
+		case *lang.If:
+			out = append(out, ExprDerefs(s.Cond)...)
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			out = append(out, ExprDerefs(s.Cond)...)
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Cond != nil {
+				out = append(out, ExprDerefs(s.Cond)...)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		case *lang.Return:
+			if s.E != nil {
+				out = append(out, ExprDerefs(s.E)...)
+			}
+		case *lang.ExprStmt:
+			out = append(out, ExprDerefs(s.E)...)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// ExprReads returns the variable reads of an expression in evaluation
+// order. Dereferencing a pointer reads its base variable.
+func ExprReads(e lang.Expr) []VarUse {
+	var out []VarUse
+	var walk func(e lang.Expr)
+	walk = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Ident:
+			out = append(out, VarUse{Name: e.Name, Pos: e.Pos})
+		case *lang.Arrow:
+			walk(e.X)
+		case *lang.Call:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *lang.Touch:
+			walk(e.E)
+		case *lang.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *lang.Unary:
+			walk(e.X)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// ExprDerefs returns the pointer dereferences of an expression: one Deref
+// per maximal Arrow chain rooted at a variable, plus any chains nested in
+// call arguments or subexpressions.
+func ExprDerefs(e lang.Expr) []Deref {
+	var out []Deref
+	var walk func(e lang.Expr)
+	walk = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Arrow:
+			inner := e
+			for {
+				x, ok := inner.X.(*lang.Arrow)
+				if !ok {
+					break
+				}
+				inner = x
+			}
+			if id, ok := inner.X.(*lang.Ident); ok {
+				out = append(out, Deref{Base: id.Name, Pos: inner.Pos})
+				return
+			}
+			walk(inner.X)
+		case *lang.Call:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *lang.Touch:
+			walk(e.E)
+		case *lang.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *lang.Unary:
+			walk(e.X)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

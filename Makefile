@@ -2,11 +2,15 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt test oldenvet lint
+.PHONY: check build vet fmt test race fuzz oldenvet lint
+
+# Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
+# real fuzzing session.
+FUZZTIME ?= 10s
 
 # The full gate CI runs: build, vet, formatting, tests, contract checks,
-# and the mini-C lints over every kernel and example source.
-check: build vet fmt test oldenvet lint
+# the mini-C lints over every kernel and example source, and a fuzz smoke.
+check: build vet fmt test oldenvet lint fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +26,16 @@ fmt:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# go test runs one -fuzz target per invocation; -run '^$$' skips the
+# ordinary tests so only the fuzzing engine runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/gaddr
+	$(GO) test -run '^$$' -fuzz '^FuzzLexAll$$' -fuzztime $(FUZZTIME) ./internal/lang
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/lang
 
 oldenvet:
 	$(GO) run ./cmd/oldenvet ./...

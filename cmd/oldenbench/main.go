@@ -8,6 +8,16 @@
 // Problem sizes default to 1/16 of the paper's (Table 1) sizes; pass
 // -scale 1 for the full sizes. -procs selects the machine sizes for
 // Table 2 and -maxprocs the machine size for Table 3 / Figure 2.
+//
+// Beyond the paper's aggregates, one benchmark run can be traced on the
+// simulation clock and profiled per site and per page:
+//
+//	oldenbench -bench treeadd -maxprocs 4 -trace out.json -profile
+//
+// The trace file is Chrome trace_event JSON (chrome://tracing, Perfetto);
+// -profile prints miss-latency histograms, migration fan-out and
+// invalidation traffic; the printed digest is the byte-stable artifact
+// the regression tests pin.
 package main
 
 import (
@@ -19,6 +29,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/coherence"
+	"repro/internal/rt"
+	"repro/internal/trace"
 
 	_ "repro/internal/bench/barneshut"
 	_ "repro/internal/bench/bisort"
@@ -40,6 +52,9 @@ func main() {
 	procsFlag := flag.String("procs", "1,2,4,8,16,32", "machine sizes for Table 2")
 	maxProcs := flag.Int("maxprocs", 32, "machine size for Table 3 and Figure 2")
 	scheme := flag.String("scheme", "local", "coherence scheme for Table 2: local, global, bilateral")
+	benchName := flag.String("bench", "", "trace/profile one benchmark at -maxprocs processors")
+	traceOut := flag.String("trace", "", "with -bench: write Chrome trace JSON of the timed region to this file")
+	profile := flag.Bool("profile", false, "with -bench: print per-site and per-page profiles")
 	flag.Parse()
 
 	var procs []int
@@ -85,10 +100,67 @@ func main() {
 		if err != nil {
 			fatalf("curve: %v", err)
 		}
+	case *benchName != "":
+		runTraced(*benchName, *maxProcs, *scale, kind, *traceOut, *profile)
 	default:
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2 or -curve <bench>")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2, -curve <bench> or -bench <bench>")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runTraced runs one benchmark with the event recorder attached and
+// surfaces the trace: digest always, Chrome JSON and profiles on request.
+func runTraced(name string, procs, scale int, kind coherence.Kind, traceOut string, profile bool) {
+	info, ok := bench.Get(name)
+	if !ok {
+		fatalf("unknown benchmark %q (want one of %s)", name, strings.Join(bench.Names(), ", "))
+	}
+	rec := trace.New(0)
+	var rtm *rt.Runtime
+	res := info.Run(bench.Config{
+		Procs:       procs,
+		Scale:       scale,
+		Scheme:      kind,
+		Trace:       rec,
+		RuntimeHook: func(r *rt.Runtime) { rtm = r },
+	})
+	status := "verified"
+	if !res.Verified() {
+		status = fmt.Sprintf("FAILED (%#x != %#x)", res.Check, res.WantCheck)
+	}
+	fmt.Printf("%s: procs=%d scale=1/%d scheme=%s — %s, %d cycles\n",
+		name, procs, scale, kind, status, res.Cycles)
+	fmt.Printf("trace digest: %s\n", rec.Digest())
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("create trace file: %v", err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close trace file: %v", err)
+		}
+		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			rec.Len(), traceOut)
+	}
+	if profile {
+		fmt.Println()
+		fmt.Print(rec.Profile().Format(20))
+		if rtm != nil {
+			fmt.Println("\nper-site mechanism counters (runtime view):")
+			fmt.Printf("%-28s %-8s %10s %10s %10s %10s\n",
+				"site", "mech", "reads", "writes", "remote", "migrations")
+			for _, s := range rtm.SiteStats() {
+				fmt.Printf("%-28s %-8s %10d %10d %10d %10d\n",
+					s.Name, s.Mech, s.Reads, s.Writes, s.Remote, s.Migrations)
+			}
+		}
+	}
+	if !res.Verified() {
+		os.Exit(1)
 	}
 }
 

@@ -5,6 +5,13 @@
 //	oldensim -bench treeadd -procs 8
 //	oldensim -bench voronoi -procs 32 -mode migrate -scale 8
 //	oldensim -bench health -procs 16 -scheme bilateral
+//
+// With -trace the timed region is recorded on the simulation clock and
+// exported in Chrome trace_event JSON (load the file in chrome://tracing
+// or ui.perfetto.dev); the trace digest is printed either way tracing is
+// on. -profile aggregates the trace into per-site and per-page profiles.
+//
+//	oldensim -bench em3d -procs 4 -scheme global -trace em3d.json -profile
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/coherence"
 	"repro/internal/rt"
+	"repro/internal/trace"
 
 	_ "repro/internal/bench/barneshut"
 	_ "repro/internal/bench/bisort"
@@ -35,6 +43,9 @@ func main() {
 	scale := flag.Int("scale", bench.DefaultScale, "divide the paper's problem size (1 = full)")
 	mode := flag.String("mode", "heuristic", "mechanism mode: heuristic, migrate, cache")
 	scheme := flag.String("scheme", "local", "coherence scheme: local, global, bilateral")
+	traceOut := flag.String("trace", "", "record the timed region and write Chrome trace JSON to this file")
+	profile := flag.Bool("profile", false, "print per-site and per-page profiles of the timed region")
+	traceCap := flag.Int("tracecap", 0, "trace ring capacity in events (0 = default)")
 	flag.Parse()
 
 	info, ok := bench.Get(*name)
@@ -68,7 +79,11 @@ func main() {
 	if !base.Verified() {
 		fatalf("baseline failed verification: %#x != %#x", base.Check, base.WantCheck)
 	}
-	res := info.Run(bench.Config{Procs: *procs, Scale: *scale, Mode: m, Scheme: k})
+	var rec *trace.Recorder
+	if *traceOut != "" || *profile {
+		rec = trace.New(*traceCap)
+	}
+	res := info.Run(bench.Config{Procs: *procs, Scale: *scale, Mode: m, Scheme: k, Trace: rec})
 	status := "verified"
 	if !res.Verified() {
 		status = fmt.Sprintf("FAILED (%#x != %#x)", res.Check, res.WantCheck)
@@ -88,6 +103,27 @@ func main() {
 		s.CacheableWrites, pct(s.RemoteWrites, s.CacheableWrites))
 	fmt.Printf("misses %d (%.2f%% of remote refs), lines fetched %d, pages cached %d\n",
 		s.Misses, s.MissPct(), s.LineFetches, res.Pages)
+	if rec != nil {
+		fmt.Printf("trace digest: %s\n", rec.Digest())
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("create trace file: %v", err)
+			}
+			if err := rec.WriteChrome(f); err != nil {
+				fatalf("write trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close trace file: %v", err)
+			}
+			fmt.Printf("trace: %d events written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+				rec.Len(), *traceOut)
+		}
+		if *profile {
+			fmt.Println()
+			fmt.Print(rec.Profile().Format(20))
+		}
+	}
 	if !res.Verified() {
 		os.Exit(1)
 	}

@@ -11,6 +11,8 @@ import (
 // the gaddr.GP ⟨processor, offset⟩ encoding.  Everyone else treats a
 // global pointer as an opaque capability and goes through the typed
 // rt.Thread API (or rt.FieldPtr / Runtime.Raw* for untimed setup).
+// internal/trace qualifies because its events stamp ⟨processor, page,
+// line⟩ coordinates and its exporters render them for humans.
 var gaddrLayers = map[string]bool{
 	"internal/gaddr":     true,
 	"internal/mem":       true,
@@ -18,6 +20,7 @@ var gaddrLayers = map[string]bool{
 	"internal/rt":        true,
 	"internal/coherence": true,
 	"internal/machine":   true,
+	"internal/trace":     true,
 }
 
 // gaddrUnpackFuncs and gaddrUnpackMethods are the package-level

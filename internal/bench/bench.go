@@ -11,6 +11,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/machine"
 	"repro/internal/rt"
+	"repro/internal/trace"
 )
 
 // Config selects how one benchmark run executes.
@@ -29,6 +30,16 @@ type Config struct {
 	// Scale divides the paper's problem size: 1 reproduces Table 1's
 	// sizes, 8 runs 1/8-size problems, etc. Zero means DefaultScale.
 	Scale int
+	// Trace, when non-nil, records the run's simulation events into the
+	// given recorder. ResetForKernel (called by kernel-timed benchmarks)
+	// clears it along with the statistics, so the recorded trace covers
+	// exactly the timed region.
+	Trace *trace.Recorder
+	// RuntimeHook, when non-nil, observes the runtime a Run constructs
+	// internally, right after creation. Differential tests use it to
+	// fingerprint final heap contents; profilers use it for per-site
+	// statistics.
+	RuntimeHook func(*rt.Runtime)
 }
 
 // DefaultScale keeps default runs comfortably fast; `-scale 1` in
@@ -55,13 +66,18 @@ func (c Config) NewRuntime() *rt.Runtime { return c.NewRuntimeWithHeap(0) }
 // size (benchmarks at paper-scale sizes need more than the default).
 func (c Config) NewRuntimeWithHeap(heapBytes uint32) *rt.Runtime {
 	c = c.normalize()
-	return rt.New(rt.Config{
+	r := rt.New(rt.Config{
 		Procs:            c.Procs,
 		Scheme:           c.Scheme,
 		Mode:             c.Mode,
 		NoOverhead:       c.Baseline,
 		HeapBytesPerProc: heapBytes,
+		Trace:            c.Trace,
 	})
+	if c.RuntimeHook != nil {
+		c.RuntimeHook(r)
+	}
+	return r
 }
 
 // Scaled divides a paper-scale quantity by the configured scale, keeping a

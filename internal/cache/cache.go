@@ -9,6 +9,7 @@
 package cache
 
 import (
+	"math/bits"
 	"sync"
 
 	"repro/internal/gaddr"
@@ -120,63 +121,75 @@ func (c *Cache) WriteWord(e *Entry, pageOff uint32, v uint64) {
 // InvalidateAll clears every valid bit (local-knowledge scheme: "each
 // processor invalidates its entire cache upon receiving a migration").
 // Page entries stay allocated so hash chains stay short and the pages-
-// cached statistic is cumulative.
-func (c *Cache) InvalidateAll() {
+// cached statistic is cumulative. It returns the number of lines that
+// were actually valid — the data the flush really discarded, which the
+// trace layer records to expose over-invalidation.
+func (c *Cache) InvalidateAll() (lines int) {
 	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
+			lines += bits.OnesCount32(e.Valid)
 			e.Valid = 0
 			e.Stale = false
 		}
 	}
 	c.mu.Unlock()
+	return lines
 }
 
 // InvalidateHomes clears valid bits of every line whose page is homed on a
 // processor named in procMask (bit p set ⇒ processor p). This is the
 // refined local-knowledge rule for returns: "we need only invalidate cached
 // copies of lines from processors whose memories have been written by the
-// returning thread."
-func (c *Cache) InvalidateHomes(procMask uint64) {
+// returning thread." It returns the number of valid lines discarded.
+func (c *Cache) InvalidateHomes(procMask uint64) (lines int) {
 	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
 			if procMask&(1<<uint(e.Page.Proc())) != 0 {
+				lines += bits.OnesCount32(e.Valid)
 				e.Valid = 0
 				e.Stale = false
 			}
 		}
 	}
 	c.mu.Unlock()
+	return lines
 }
 
 // InvalidateLines clears the given lines of one page if it is cached
-// (global-knowledge scheme invalidation message). It reports whether the
-// page was present.
-func (c *Cache) InvalidateLines(p gaddr.PageID, lineMask uint32) bool {
+// (global-knowledge scheme invalidation message). It returns the mask of
+// lines that were actually valid and got cleared: zero means the message
+// was spurious — the sharer-tracking is page-grained, so a sharer may
+// receive invalidations for lines it never cached (the "spurious
+// invalidation messages" the paper notes in Appendix A).
+func (c *Cache) InvalidateLines(p gaddr.PageID, lineMask uint32) (cleared uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.find(p)
 	if e == nil {
-		return false
+		return 0
 	}
+	cleared = e.Valid & lineMask
 	e.Valid &^= lineMask
-	return true
+	return cleared
 }
 
 // MarkAllStale marks every cached page stale (bilateral scheme: "on
 // receiving a migration, a processor marks all of its pages, so that they
-// miss on the first access").
-func (c *Cache) MarkAllStale() {
+// miss on the first access"). It returns the number of pages marked.
+func (c *Cache) MarkAllStale() (pages int) {
 	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
 			if e.Valid != 0 {
 				e.Stale = true
+				pages++
 			}
 		}
 	}
 	c.mu.Unlock()
+	return pages
 }
 
 // Refresh completes a bilateral timestamp check: lines written at home

@@ -94,14 +94,14 @@ func TestInvalidateLines(t *testing.T) {
 	c.InstallLine(e, 0, words)
 	c.InstallLine(e, 5, words)
 	c.InstallLine(e, 9, words)
-	if !c.InvalidateLines(gaddr.PageOf(g), 1<<5|1<<31) {
-		t.Fatal("page should be present")
+	if cleared := c.InvalidateLines(gaddr.PageOf(g), 1<<5|1<<31); cleared != 1<<5 {
+		t.Fatalf("cleared = %#x; only the valid line 5 was discarded", cleared)
 	}
 	if e.Valid != 1<<0|1<<9 {
 		t.Fatalf("valid mask = %#x", e.Valid)
 	}
-	if c.InvalidateLines(gaddr.PageID(addr(7, gaddr.PageBytes)), 1) {
-		t.Fatal("absent page must report false")
+	if cleared := c.InvalidateLines(gaddr.PageID(addr(7, gaddr.PageBytes)), 1); cleared != 0 {
+		t.Fatal("absent page must clear nothing")
 	}
 }
 

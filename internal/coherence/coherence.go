@@ -22,11 +22,13 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/gaddr"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Kind selects one of the three schemes.
@@ -90,6 +92,21 @@ func (ds DirtySet) Add(g gaddr.GP) {
 	ds[gaddr.PageOf(g)] |= 1 << uint(gaddr.LineOf(g))
 }
 
+// SortedPages returns the dirtied pages in ascending order. Release
+// processing must iterate in this order, not Go's randomized map order:
+// the order in which per-page invalidations go out determines when each
+// sharer is occupied and when acknowledgement waits accrue, so a random
+// order would make processor clocks — and the event trace — differ from
+// run to run.
+func (ds DirtySet) SortedPages() []gaddr.PageID {
+	pages := make([]gaddr.PageID, 0, len(ds))
+	for p := range ds {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
 // Engine runs one coherence scheme for a whole machine.
 type Engine struct {
 	kind   Kind
@@ -150,9 +167,11 @@ func (e *Engine) WriteTrackCost(g gaddr.GP) int64 {
 // processor (forward migration or return). It consumes the thread's dirty
 // set and returns the thread's new clock.
 func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
+	tr := e.m.Tracer
 	switch e.kind {
 	case GlobalKnowledge:
-		for p, mask := range dirty {
+		for _, p := range dirty.SortedPages() {
+			mask := dirty[p]
 			d := e.dirs[p.Proc()]
 			d.mu.Lock()
 			pd := d.pages[p]
@@ -171,20 +190,35 @@ func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
 				if s == src || sharers&(1<<uint(s)) == 0 {
 					continue
 				}
-				e.caches[s].InvalidateLines(p, mask)
+				cleared := e.caches[s].InvalidateLines(p, mask)
 				// Processing the invalidation occupies the sharer.
 				e.m.Procs[s].Occupy(now, e.m.Cost.InvalidateMsg)
 				e.m.Stats.Invalidations.Add(1)
 				sent = true
+				if tr != nil {
+					tr.Emit(trace.Event{
+						Kind: trace.EvLineInval, T: now,
+						P: int16(s), Tid: -1, Site: -1, Line: -1,
+						Page: uint32(p), Arg: int64(cleared),
+					})
+				}
 			}
 			if sent {
 				// The release completes only after acknowledgements
 				// are collected.
+				if tr != nil {
+					tr.Emit(trace.Event{
+						Kind: trace.EvInvalAck, T: now, Dur: e.m.Cost.InvalidateAck,
+						P: int16(src), Tid: -1, Site: -1, Line: -1,
+						Page: uint32(p),
+					})
+				}
 				now += e.m.Cost.InvalidateAck
 			}
 		}
 	case Bilateral:
-		for p, mask := range dirty {
+		for _, p := range dirty.SortedPages() {
+			mask := dirty[p]
 			d := e.dirs[p.Proc()]
 			d.mu.Lock()
 			pd := d.get(p)
@@ -205,22 +239,44 @@ func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
 // set (bitmask) of processors whose memories the returning thread wrote.
 // It returns the thread's new clock.
 func (e *Engine) OnAcquire(dst int, now int64, isReturn bool, writtenProcs uint64) int64 {
+	tr := e.m.Tracer
 	switch e.kind {
 	case LocalKnowledge:
 		if isReturn {
 			if writtenProcs != 0 {
-				e.caches[dst].InvalidateHomes(writtenProcs)
+				lines := e.caches[dst].InvalidateHomes(writtenProcs)
+				if tr != nil {
+					tr.Emit(trace.Event{
+						Kind: trace.EvHomeFlush, T: now,
+						P: int16(dst), Tid: -1, Site: -1, Line: -1,
+						Arg: int64(lines),
+					})
+				}
 				now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
 			}
 		} else {
-			e.caches[dst].InvalidateAll()
+			lines := e.caches[dst].InvalidateAll()
 			e.m.Stats.FullFlushes.Add(1)
+			if tr != nil {
+				tr.Emit(trace.Event{
+					Kind: trace.EvFullFlush, T: now,
+					P: int16(dst), Tid: -1, Site: -1, Line: -1,
+					Arg: int64(lines),
+				})
+			}
 			now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
 		}
 	case GlobalKnowledge:
 		// Invalidations were pushed eagerly at the release.
 	case Bilateral:
-		e.caches[dst].MarkAllStale()
+		pages := e.caches[dst].MarkAllStale()
+		if tr != nil {
+			tr.Emit(trace.Event{
+				Kind: trace.EvMarkStale, T: now,
+				P: int16(dst), Tid: -1, Site: -1, Line: -1,
+				Arg: int64(pages),
+			})
+		}
 		now = e.m.Procs[dst].Occupy(now, e.m.Cost.FlushAll)
 	}
 	return now

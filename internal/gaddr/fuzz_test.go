@@ -1,0 +1,60 @@
+package gaddr
+
+import "testing"
+
+// FuzzPackUnpack checks that the ⟨processor, offset⟩ encoding round-trips
+// for every in-range field pair and that the page/line geometry derived
+// from a pointer is internally consistent.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0), uint32(WordBytes)) // first real word after nil
+	f.Add(uint32(1), uint32(PageBytes-1))
+	f.Add(uint32(31), uint32(LineBytes*7+3))
+	f.Add(uint32(MaxProcs-1), uint32(MaxOffset-1))
+	f.Fuzz(func(t *testing.T, procRaw, offRaw uint32) {
+		proc := int(procRaw % MaxProcs)
+		off := offRaw % MaxOffset
+		g := Pack(proc, off)
+		if g.Proc() != proc || g.Off() != off {
+			t.Fatalf("Pack(%d, %#x) round-trips to ⟨%d, %#x⟩", proc, off, g.Proc(), g.Off())
+		}
+		if g.IsNil() != (proc == 0 && off == 0) {
+			t.Fatalf("IsNil() = %v for ⟨%d, %#x⟩", g.IsNil(), proc, off)
+		}
+
+		pg := PageOf(g)
+		base := pg.Base()
+		if pg.Proc() != proc || base.Proc() != proc {
+			t.Fatalf("page of ⟨%d, %#x⟩ claims processor %d", proc, off, pg.Proc())
+		}
+		if base.Off()%PageBytes != 0 {
+			t.Fatalf("page base %#x not page-aligned", base.Off())
+		}
+		if off < base.Off() || off-base.Off() >= PageBytes {
+			t.Fatalf("offset %#x outside its page [%#x, %#x)", off, base.Off(), base.Off()+PageBytes)
+		}
+
+		line := LineOf(g)
+		if line < 0 || line >= LinesPerPage {
+			t.Fatalf("line index %d out of [0, %d)", line, LinesPerPage)
+		}
+		if want := int(off%PageBytes) / LineBytes; line != want {
+			t.Fatalf("LineOf = %d, want %d", line, want)
+		}
+
+		// Every address within the same line maps to the same page and line.
+		sib := Pack(proc, off-off%LineBytes)
+		if PageOf(sib) != pg || LineOf(sib) != line {
+			t.Fatalf("line start ⟨%d, %#x⟩ maps to (%v, %d), original to (%v, %d)",
+				proc, sib.Off(), PageOf(sib), LineOf(sib), pg, line)
+		}
+
+		// Add stays within the section and agrees with field arithmetic.
+		if delta := offRaw % 64; off+delta < MaxOffset {
+			h := g.Add(delta)
+			if h.Proc() != proc || h.Off() != off+delta {
+				t.Fatalf("Add(%d) on ⟨%d, %#x⟩ gave ⟨%d, %#x⟩", delta, proc, off, h.Proc(), h.Off())
+			}
+		}
+	})
+}

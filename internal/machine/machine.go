@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Proc is one simulated processor: a serial virtual-time resource plus its
@@ -95,6 +96,10 @@ type Machine struct {
 	Cost  Cost
 	Procs []*Proc
 	Stats Stats
+	// Tracer, when non-nil, records simulation events (migrations, cache
+	// misses, coherence traffic) for the trace/profile layer. Nil — the
+	// default — disables recording; every emit point guards on it.
+	Tracer *trace.Recorder
 }
 
 // New builds a machine.
@@ -148,8 +153,12 @@ func (m *Machine) ResetClocks() {
 }
 
 // Stats aggregates machine-wide event counters. All fields are updated with
-// atomics so threads on any processor may bump them concurrently.
+// atomics so threads on any processor may bump them concurrently; Reset and
+// Snapshot additionally serialize against each other (mu), so a snapshot
+// taken mid-run — as the trace profiler does — never interleaves with a
+// phase boundary's reset and observes half-cleared counters.
 type Stats struct {
+	mu              sync.Mutex
 	PtrTests        atomic.Int64 // locality checks executed
 	Migrations      atomic.Int64 // forward migrations
 	Returns         atomic.Int64 // return-stub migrations
@@ -167,8 +176,12 @@ type Stats struct {
 	FullFlushes     atomic.Int64 // whole-cache invalidations (local scheme)
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter. It is safe against concurrent Snapshot calls
+// (and against concurrent atomic updates, which simply land in the fresh
+// epoch or the cleared one).
 func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.PtrTests.Store(0)
 	s.Migrations.Store(0)
 	s.Returns.Store(0)
@@ -186,8 +199,12 @@ func (s *Stats) Reset() {
 	s.FullFlushes.Store(0)
 }
 
-// Snapshot copies the counters into a plain struct for reporting.
+// Snapshot copies the counters into a plain struct for reporting. It may be
+// called mid-run: individual counters are read atomically, and the mutex
+// keeps the whole snapshot on one side of any concurrent Reset.
 func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return StatsSnapshot{
 		PtrTests:        s.PtrTests.Load(),
 		Migrations:      s.Migrations.Load(),

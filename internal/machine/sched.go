@@ -3,6 +3,8 @@ package machine
 import (
 	"container/heap"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Scheduler serializes all logical threads of a simulation in virtual-time
@@ -21,6 +23,12 @@ import (
 //     a parked entry runnable again at the given clock.
 //   - Call Exit(e) when the thread is done.
 type Scheduler struct {
+	// Trace, when non-nil, records thread lifecycle events (start and
+	// end, stamped with the entry's clock). Set it before the first
+	// Register; the registration sequence is deterministic, so the
+	// lifecycle events are part of the run's reproducible trace.
+	Trace *trace.Recorder
+
 	mu      sync.Mutex
 	h       entryHeap
 	active  *SchedEntry
@@ -48,8 +56,18 @@ func (s *Scheduler) Register(clock int64) *SchedEntry {
 	e := &SchedEntry{clock: clock, seq: s.seq, index: -1, wake: make(chan struct{}, 1)}
 	s.seq++
 	heap.Push(&s.h, e)
+	if s.Trace != nil {
+		s.Trace.Emit(trace.Event{
+			Kind: trace.EvThreadStart, T: clock,
+			Tid: int32(e.seq), P: -1, Site: -1, Line: -1,
+		})
+	}
 	return e
 }
+
+// Seq returns the entry's creation sequence number, which the runtime and
+// trace layers use as the logical thread id.
+func (e *SchedEntry) Seq() uint64 { return e.seq }
 
 // Sync updates e's clock and blocks until e is the minimal runnable entry.
 // The calling goroutine may then execute simulation operations until its
@@ -105,6 +123,12 @@ func (s *Scheduler) Resume(e *SchedEntry, clock int64) {
 // Exit removes e permanently and hands control to the next minimal entry.
 func (s *Scheduler) Exit(e *SchedEntry) {
 	s.mu.Lock()
+	if s.Trace != nil {
+		s.Trace.Emit(trace.Event{
+			Kind: trace.EvThreadEnd, T: e.clock,
+			Tid: int32(e.seq), P: -1, Site: -1, Line: -1,
+		})
+	}
 	if e.index >= 0 {
 		heap.Remove(&s.h, e.index)
 	}

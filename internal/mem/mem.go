@@ -127,6 +127,35 @@ func (h *Heap) CopyLineOut(lineOff uint32, dst []uint64) {
 	}
 }
 
+// FoldFingerprint folds the heap section's allocated contents (and its
+// allocation cursor) into a running FNV-1a hash and returns the new hash.
+// Differential tests compare fingerprints across coherence schemes: since
+// every write — cached or not — goes through to the home heap, runs that
+// compute the same result must leave byte-identical heaps.
+func (h *Heap) FoldFingerprint(hash uint64) uint64 {
+	const prime = 1099511628211
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			hash ^= v & 0xff
+			hash *= prime
+			v >>= 8
+		}
+	}
+	fold(uint64(h.proc))
+	fold(uint64(h.next))
+	words := int(h.next / gaddr.WordBytes)
+	if words > len(h.words) {
+		words = len(h.words)
+	}
+	// Skip the reserved nil page: it is never addressable.
+	for i := int(gaddr.WordsPerPage); i < words; i++ {
+		fold(h.words[i])
+	}
+	return hash
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

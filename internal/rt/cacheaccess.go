@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/gaddr"
+	"repro/internal/trace"
 )
 
 // cacheAccess resolves a remote reference through the software cache,
@@ -11,8 +12,10 @@ import (
 // reference counts as one miss if it pays any protocol round trip —
 // a line fetch and/or a timestamp check (this is the quantity behind
 // Table 3's "% of Remote references that miss").
-func (t *Thread) cacheAccess(a gaddr.GP) *cacheRef {
+func (t *Thread) cacheAccess(s *Site, a gaddr.GP) *cacheRef {
 	c := t.rt.Caches[t.loc]
+	tr := t.rt.M.Tracer
+	start := t.now
 	t.chargeHere(t.rt.M.Cost.CacheHit)
 	e, pageNew, lineValid := c.Probe(a)
 	if pageNew {
@@ -21,8 +24,16 @@ func (t *Thread) cacheAccess(a gaddr.GP) *cacheRef {
 	missed := false
 	if t.rt.Coh.Kind() == coherence.Bilateral {
 		if _, stale := c.LineState(e, gaddr.LineOf(a)); stale {
+			t0 := t.now
 			t.now = t.rt.Coh.StaleCheck(e, t.loc, t.now)
 			missed = true
+			if tr != nil {
+				tr.Emit(trace.Event{
+					Kind: trace.EvStampCheck, T: t0, Dur: t.now - t0,
+					P: int16(t.loc), Tid: t.tid(), Site: s.traceID, Line: -1,
+					Page: uint32(gaddr.PageOf(a)),
+				})
+			}
 			lineValid, _ = c.LineState(e, gaddr.LineOf(a))
 		}
 	}
@@ -33,6 +44,18 @@ func (t *Thread) cacheAccess(a gaddr.GP) *cacheRef {
 	if missed {
 		t.rt.M.Stats.Misses.Add(1)
 	}
+	if tr != nil {
+		ev := trace.Event{
+			Kind: trace.EvCacheHit, T: start,
+			P: int16(t.loc), Tid: t.tid(), Site: s.traceID,
+			Page: uint32(gaddr.PageOf(a)), Line: int16(gaddr.LineOf(a)),
+		}
+		if missed {
+			ev.Kind = trace.EvCacheMiss
+			ev.Dur = t.now - start
+		}
+		tr.Emit(ev)
+	}
 	return &cacheRef{e: e, pageOff: a.Off() % gaddr.PageBytes}
 }
 
@@ -42,6 +65,7 @@ func (t *Thread) fetchLine(c *cache.Cache, e *cache.Entry, a gaddr.GP) {
 	cost := t.rt.M.Cost
 	home := t.rt.M.Procs[a.Proc()]
 	line := gaddr.LineOf(a)
+	start := t.now
 	t.now += cost.MissRequest
 	t.now = home.Occupy(t.now, cost.MissService)
 	buf := make([]uint64, gaddr.WordsPerLine)
@@ -51,4 +75,11 @@ func (t *Thread) fetchLine(c *cache.Cache, e *cache.Entry, a gaddr.GP) {
 	c.InstallLine(e, line, buf)
 	t.rt.Coh.RegisterSharer(e.Page, t.loc)
 	t.rt.M.Stats.LineFetches.Add(1)
+	if tr := t.rt.M.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvLineFetch, T: start, Dur: t.now - start,
+			P: int16(t.loc), Tid: t.tid(), Site: -1, Line: int16(line),
+			Page: uint32(e.Page), Arg: int64(a.Proc()),
+		})
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Future is the result of a futurecall (paper §2): work that may proceed in
@@ -34,12 +35,20 @@ func Spawn[T any](t *Thread, body func(child *Thread) T) *Future[T] {
 	t.rt.M.Stats.Futures.Add(1)
 	t.chargeHere(t.rt.M.Cost.FutureSpawn)
 	child := &Thread{
-		rt:     t.rt,
-		loc:    t.loc,
-		now:    t.now,
-		frames: []uint64{0},
+		rt:      t.rt,
+		loc:     t.loc,
+		now:     t.now,
+		arrived: t.now,
+		frames:  []uint64{0},
 	}
 	child.se = t.rt.Sched.Register(child.now)
+	if tr := t.rt.M.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvFutureSpawn, T: t.now,
+			P: int16(t.loc), Tid: t.tid(), Site: -1, Line: -1,
+			Arg: int64(child.tid()),
+		})
+	}
 	f := &Future[T]{}
 	t.rt.live.Add(1)
 	go func() {
@@ -67,6 +76,7 @@ func Spawn[T any](t *Thread, body func(child *Thread) T) *Future[T] {
 // toucher's clock with the body's completion time.
 func (f *Future[T]) Touch(t *Thread) T {
 	t.sync()
+	start := t.now
 	f.mu.Lock()
 	if !f.done {
 		f.waiters = append(f.waiters, t.se)
@@ -78,6 +88,12 @@ func (f *Future[T]) Touch(t *Thread) T {
 	f.mu.Unlock()
 	if when > t.now {
 		t.now = when
+	}
+	if tr := t.rt.M.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvFutureTouch, T: start, Dur: t.now - start,
+			P: int16(t.loc), Tid: t.tid(), Site: -1, Line: -1,
+		})
 	}
 	t.rt.M.Stats.Touches.Add(1)
 	t.chargeHere(t.rt.M.Cost.Touch)

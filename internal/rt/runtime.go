@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Mechanism says how a dereference site satisfies remote references.
@@ -78,6 +79,10 @@ type Site struct {
 	// sync), so no lock is needed — the scheduler's hand-off orders all
 	// accesses.
 	reg *Runtime
+	// traceID is the site's interned id in the runtime's trace recorder
+	// (-1 when tracing is off). Assigned at registration, under the same
+	// hand-off ordering as reg.
+	traceID int32
 }
 
 // SiteStats is a point-in-time copy of a site's counters.
@@ -118,6 +123,11 @@ type Config struct {
 	HeapBytesPerProc uint32
 	// Cost overrides the cycle cost model (zero value ⇒ default).
 	Cost machine.Cost
+	// Trace, when non-nil, records every simulation event (migrations,
+	// cache traffic, coherence protocol actions, thread lifecycle) into
+	// the given recorder. Nil — the default — disables recording; the
+	// cost model and all statistics are unaffected either way.
+	Trace *trace.Recorder
 }
 
 // Runtime binds a machine, its per-processor software caches, and a
@@ -159,6 +169,7 @@ func New(cfg Config) *Runtime {
 		HeapBytesPerProc: cfg.HeapBytesPerProc,
 		Cost:             cfg.Cost,
 	})
+	m.Tracer = cfg.Trace
 	caches := make([]*cache.Cache, cfg.Procs)
 	for i := range caches {
 		caches[i] = cache.New()
@@ -167,18 +178,23 @@ func New(cfg Config) *Runtime {
 	for i := range dirty {
 		dirty[i] = coherence.DirtySet{}
 	}
+	sched := machine.NewScheduler()
+	sched.Trace = cfg.Trace
 	return &Runtime{
 		M:        m,
 		Caches:   caches,
 		Coh:      coherence.New(cfg.Scheme, m, caches),
 		Mode:     cfg.Mode,
-		Sched:    machine.NewScheduler(),
+		Sched:    sched,
 		Overhead: !cfg.NoOverhead,
 		dirty:    dirty,
 		sites:    map[string]*Site{},
 		dups:     map[string]int{},
 	}
 }
+
+// Tracer returns the runtime's trace recorder, or nil when tracing is off.
+func (r *Runtime) Tracer() *trace.Recorder { return r.M.Tracer }
 
 // registerSite indexes a site by name on first use with this runtime,
 // recording name collisions between distinct Site values.
@@ -257,6 +273,24 @@ func (r *Runtime) ResetForKernel() {
 	for i := range r.dirty {
 		r.dirty[i] = coherence.DirtySet{}
 	}
+	// The kernel phase is traced on its own: drop build-phase events but
+	// keep interned site names (sites persist across phases).
+	if r.M.Tracer != nil {
+		r.M.Tracer.Reset()
+	}
+}
+
+// HeapFingerprint hashes the allocated contents of every processor's heap
+// section into one order-sensitive digest. Two runs that built and mutated
+// the same logical data structure — whatever coherence scheme or machine
+// size carried the writes — must agree on it; the differential tests use
+// this to prove the three schemes are observationally equivalent.
+func (r *Runtime) HeapFingerprint() uint64 {
+	var h uint64 = 14695981039346656037
+	for _, p := range r.M.Procs {
+		h = p.Heap.FoldFingerprint(h)
+	}
+	return h
 }
 
 // PagesCachedTotal sums the cumulative page allocations over all caches

@@ -8,6 +8,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/gaddr"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Thread is one logical Olden thread. It carries its own virtual clock and
@@ -23,11 +24,19 @@ type Thread struct {
 	loc int   // current processor
 	now int64 // virtual clock
 
+	// arrived is the clock at which the thread arrived at loc (spawn
+	// time, or completion of its last migration); the trace layer emits
+	// the [arrived, departure) span as a residency event.
+	arrived int64
+
 	// frames holds, per active rt.Call, the bitmask of processors whose
 	// memories this thread wrote during the call — the refined
 	// local-knowledge rule invalidates exactly those homes on return.
 	frames []uint64
 }
+
+// tid is the thread's logical id in traces: its scheduler sequence number.
+func (t *Thread) tid() int32 { return int32(t.se.Seq()) }
 
 // Loc returns the processor the thread currently occupies.
 func (t *Thread) Loc() int { return t.loc }
@@ -116,8 +125,10 @@ func (t *Thread) noteWrite(q int) {
 }
 
 // migrate moves the thread to processor dst: release at the source, network
-// latency, receive + acquire at the destination.
-func (t *Thread) migrate(dst int, isReturn bool, writtenProcs uint64) {
+// latency, receive + acquire at the destination. site is the interned
+// trace id of the dereference site that triggered the move (-1 for
+// explicit moves and return stubs).
+func (t *Thread) migrate(dst int, isReturn bool, writtenProcs uint64, site int32) {
 	c := t.rt.M.Cost
 	src := t.loc
 	var send, net, recv int64
@@ -133,10 +144,27 @@ func (t *Thread) migrate(dst int, isReturn bool, writtenProcs uint64) {
 	// accumulated write-tracking state (Appendix A).
 	t.now = t.rt.Coh.OnRelease(src, t.now, t.rt.dirty[src])
 	t.rt.dirty[src] = coherence.DirtySet{}
+	depart := t.now
 	t.now += net
 	t.now = t.rt.M.Procs[dst].Occupy(t.now, recv)
 	t.now = t.rt.Coh.OnAcquire(dst, t.now, isReturn, writtenProcs)
+	if tr := t.rt.M.Tracer; tr != nil {
+		kind := trace.EvMigrate
+		if isReturn {
+			kind = trace.EvReturn
+		}
+		tr.Emit(trace.Event{
+			Kind: trace.EvResidency, T: t.arrived, Dur: depart - t.arrived,
+			P: int16(src), Tid: t.tid(), Site: -1, Line: -1,
+		})
+		tr.Emit(trace.Event{
+			Kind: kind, T: depart, Dur: t.now - depart,
+			P: int16(src), Tid: t.tid(), Site: site, Line: -1,
+			Arg: int64(dst),
+		})
+	}
 	t.loc = dst
+	t.arrived = t.now
 }
 
 // MigrateTo explicitly moves the thread (used by programs that pin work to
@@ -146,7 +174,7 @@ func (t *Thread) MigrateTo(dst int) {
 		return
 	}
 	t.sync()
-	t.migrate(dst, false, 0)
+	t.migrate(dst, false, 0, -1)
 }
 
 // Finish releases the thread's outstanding writes and folds its clock into
@@ -157,6 +185,12 @@ func (t *Thread) Finish() {
 	t.now = t.rt.Coh.OnRelease(t.loc, t.now, t.rt.dirty[t.loc])
 	t.rt.dirty[t.loc] = coherence.DirtySet{}
 	t.now = t.rt.M.Procs[t.loc].Occupy(t.now, 0)
+	if tr := t.rt.M.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.EvResidency, T: t.arrived, Dur: t.now - t.arrived,
+			P: int16(t.loc), Tid: t.tid(), Site: -1, Line: -1,
+		})
+	}
 }
 
 // Call executes f as an Olden procedure call: if the body migrated away,
@@ -171,7 +205,7 @@ func Call[T any](t *Thread, f func() T) T {
 	t.frames = t.frames[:len(t.frames)-1]
 	t.frames[len(t.frames)-1] |= mask
 	if t.loc != home {
-		t.migrate(home, true, mask)
+		t.migrate(home, true, mask, -1)
 	}
 	return v
 }
@@ -192,6 +226,11 @@ func (t *Thread) deref(s *Site, a gaddr.GP, isWrite bool) (entry *cacheRef, dire
 	if s.reg != t.rt {
 		s.reg = t.rt
 		t.rt.registerSite(s)
+		if tr := t.rt.M.Tracer; tr != nil {
+			s.traceID = tr.SiteID(s.Name)
+		} else {
+			s.traceID = -1
+		}
 	}
 	t.chargeHere(t.rt.M.Cost.PtrTest)
 	t.rt.M.Stats.PtrTests.Add(1)
@@ -214,7 +253,7 @@ func (t *Thread) deref(s *Site, a gaddr.GP, isWrite bool) (entry *cacheRef, dire
 	s.remote.Add(1)
 	if m == Migrate {
 		s.migrations.Add(1)
-		t.migrate(a.Proc(), false, 0)
+		t.migrate(a.Proc(), false, 0, s.traceID)
 		return nil, true
 	}
 	if isWrite {
@@ -222,7 +261,7 @@ func (t *Thread) deref(s *Site, a gaddr.GP, isWrite bool) (entry *cacheRef, dire
 	} else {
 		t.rt.M.Stats.RemoteReads.Add(1)
 	}
-	return t.cacheAccess(a), false
+	return t.cacheAccess(s, a), false
 }
 
 // cacheRef is a resolved cached access: the entry plus the page offset.

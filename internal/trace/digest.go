@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Digest condenses a trace into a byte-stable regression artifact: an
+// FNV-1a hash over every event's fields (in emission order) plus per-kind
+// event counts. Two runs of the same benchmark at the same configuration
+// must produce identical digests — any divergence means the simulation
+// picked up a real-time or iteration-order dependence.
+type Digest struct {
+	Events  int64
+	Dropped int64
+	Hash    uint64
+	Counts  [NumKinds]int64
+}
+
+// fnv-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// HashEvent folds one event into a running FNV-1a hash.
+func HashEvent(h uint64, ev Event) uint64 {
+	h = fnvWord(h, uint64(ev.Kind))
+	h = fnvWord(h, uint64(ev.T))
+	h = fnvWord(h, uint64(ev.Dur))
+	h = fnvWord(h, uint64(ev.Arg))
+	h = fnvWord(h, uint64(ev.Page))
+	h = fnvWord(h, uint64(int64(ev.Site)))
+	h = fnvWord(h, uint64(int64(ev.Tid)))
+	h = fnvWord(h, uint64(int64(ev.P)))
+	h = fnvWord(h, uint64(int64(ev.Line)))
+	return h
+}
+
+// Digest computes the digest of the currently held events.
+func (r *Recorder) Digest() Digest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := Digest{Dropped: r.dropped, Hash: fnvOffset}
+	for _, ev := range r.eventsLocked() {
+		d.Events++
+		d.Counts[ev.Kind]++
+		d.Hash = HashEvent(d.Hash, ev)
+	}
+	// Fold the drop count in so a wrapped ring cannot collide with an
+	// unwrapped one holding the same suffix.
+	d.Hash = fnvWord(d.Hash, uint64(d.Dropped))
+	return d
+}
+
+// String renders the digest in the pinned golden format:
+//
+//	events=N dropped=D hash=0123456789abcdef kind=count,kind=count,...
+//
+// Only kinds with nonzero counts appear, in Kind order.
+func (d Digest) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "events=%d dropped=%d hash=%016x", d.Events, d.Dropped, d.Hash)
+	sep := " "
+	for k := 0; k < NumKinds; k++ {
+		if d.Counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s%s=%d", sep, Kind(k), d.Counts[k])
+		sep = ","
+	}
+	return sb.String()
+}

@@ -2,7 +2,7 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt test race fuzz oldenvet lint
+.PHONY: check build vet fmt test race fuzz oldenvet lint bench report perfgate
 
 # Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
 # real fuzzing session.
@@ -39,6 +39,24 @@ fuzz:
 
 oldenvet:
 	$(GO) run ./cmd/oldenvet ./...
+
+# Persistent baselines and the deterministic perf gate. `make bench`
+# re-pins the committed BENCH_<name>.json files (do this when a change
+# intentionally moves cycle counts, and commit the diff); `make perfgate`
+# reproduces the CI gate locally: record a candidate suite, compare it to
+# the pinned files at zero tolerance, and render the markdown report.
+BASELINE_PROCS ?= 4
+PERFGATE_DIR ?= /tmp/olden-perfgate
+
+bench:
+	$(GO) run ./cmd/oldenbench -update-baselines -maxprocs $(BASELINE_PROCS)
+
+report:
+	$(GO) run ./cmd/oldenreport
+
+perfgate:
+	$(GO) run ./cmd/oldenbench -record $(PERFGATE_DIR) -maxprocs $(BASELINE_PROCS)
+	$(GO) run ./cmd/oldenreport -candidate $(PERFGATE_DIR)
 
 # oldenc -lint exits 1 only on error-severity diagnostics; the known
 # warnings (figure3's dead store, the figure5/barneshut demotions) pass.

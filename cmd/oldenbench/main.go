@@ -18,16 +18,30 @@
 // -profile prints miss-latency histograms, migration fan-out and
 // invalidation traffic; the printed digest is the byte-stable artifact
 // the regression tests pin.
+//
+// Persistent records and the perf gate:
+//
+//	oldenbench -update-baselines -maxprocs 4   # re-pin BENCH_<name>.json in .
+//	oldenbench -record out/ -maxprocs 4        # same suite, elsewhere
+//	oldenbench -table 2 -json                  # stream RunRecord JSON to stdout
+//
+// -json moves the human tables to stderr and emits one JSON object per
+// benchmark run on stdout; cmd/oldenreport renders and gates the pinned
+// files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/bench/record"
 	"repro/internal/coherence"
 	"repro/internal/rt"
 	"repro/internal/trace"
@@ -55,7 +69,22 @@ func main() {
 	benchName := flag.String("bench", "", "trace/profile one benchmark at -maxprocs processors")
 	traceOut := flag.String("trace", "", "with -bench: write Chrome trace JSON of the timed region to this file")
 	profile := flag.Bool("profile", false, "with -bench: print per-site and per-page profiles")
+	jsonOut := flag.Bool("json", false, "emit one RunRecord JSON object per benchmark run on stdout (human output moves to stderr)")
+	recordDir := flag.String("record", "", "run the pinned record suite at -maxprocs/-scale and write BENCH_<name>.json files into this directory")
+	update := flag.Bool("update-baselines", false, "shorthand for -record . : re-pin the committed baselines")
 	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		// Records own stdout; everything human-readable moves aside.
+		out = os.Stderr
+		enc := json.NewEncoder(os.Stdout)
+		bench.SetRunObserver(func(r record.RunRecord) {
+			if err := enc.Encode(r); err != nil {
+				fatalf("encode record: %v", err)
+			}
+		})
+	}
 
 	var procs []int
 	for _, f := range strings.Split(*procsFlag, ",") {
@@ -78,40 +107,77 @@ func main() {
 	}
 
 	switch {
+	case *update || *recordDir != "":
+		dir := *recordDir
+		if *update {
+			dir = "."
+		}
+		runRecordSuite(out, dir, *benchName, *maxProcs, *scale)
 	case *table == 1:
-		fmt.Print(bench.Table1())
+		fmt.Fprint(out, bench.Table1())
 	case *table == 2:
-		out, err := bench.Table2(procs, *scale, kind)
-		fmt.Print(out)
+		s, err := bench.Table2(procs, *scale, kind)
+		fmt.Fprint(out, s)
 		if err != nil {
 			fatalf("table 2: %v", err)
 		}
 	case *table == 3:
-		out, err := bench.Table3(*maxProcs, *scale)
-		fmt.Print(out)
+		s, err := bench.Table3(*maxProcs, *scale)
+		fmt.Fprint(out, s)
 		if err != nil {
 			fatalf("table 3: %v", err)
 		}
 	case *figure == 2:
-		fmt.Print(bench.Figure2(4096, *maxProcs))
+		fmt.Fprint(out, bench.Figure2(4096, *maxProcs))
 	case *curve != "":
-		out, err := bench.Curve(*curve, procs, *scale, kind)
-		fmt.Print(out)
+		s, err := bench.Curve(*curve, procs, *scale, kind)
+		fmt.Fprint(out, s)
 		if err != nil {
 			fatalf("curve: %v", err)
 		}
 	case *benchName != "":
-		runTraced(*benchName, *maxProcs, *scale, kind, *traceOut, *profile)
+		runTraced(out, *benchName, *maxProcs, *scale, kind, *traceOut, *profile)
 	default:
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2, -curve <bench> or -bench <bench>")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2, -curve <bench>, -bench <bench>, -record <dir> or -update-baselines")
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+// runRecordSuite collects the pinned configuration suite for every
+// benchmark (or just `only`) and writes one BENCH_<name>.json per
+// benchmark into dir.
+func runRecordSuite(out io.Writer, dir, only string, procs, scale int) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("record dir: %v", err)
+	}
+	names := bench.Names()
+	if only != "" {
+		if _, ok := bench.Get(only); !ok {
+			fatalf("unknown benchmark %q (want one of %s)", only, strings.Join(bench.Names(), ", "))
+		}
+		names = []string{only}
+	}
+	for _, name := range names {
+		f, err := bench.CollectRecords(name, procs, scale)
+		if err != nil {
+			fatalf("record %s: %v", name, err)
+		}
+		if err := f.Save(dir); err != nil {
+			fatalf("save %s: %v", name, err)
+		}
+		base, _ := f.Lookup("baseline")
+		heur, _ := f.Lookup(record.HeuristicKey(procs, "local"))
+		fmt.Fprintf(out, "%-12s pinned: baseline %d cycles, P=%d %d cycles (S=%.2f) -> %s\n",
+			name, base.Cycles, procs, heur.Cycles,
+			float64(base.Cycles)/float64(heur.Cycles),
+			filepath.Join(dir, record.Filename(name)))
+	}
+}
+
 // runTraced runs one benchmark with the event recorder attached and
 // surfaces the trace: digest always, Chrome JSON and profiles on request.
-func runTraced(name string, procs, scale int, kind coherence.Kind, traceOut string, profile bool) {
+func runTraced(out io.Writer, name string, procs, scale int, kind coherence.Kind, traceOut string, profile bool) {
 	info, ok := bench.Get(name)
 	if !ok {
 		fatalf("unknown benchmark %q (want one of %s)", name, strings.Join(bench.Names(), ", "))
@@ -129,9 +195,9 @@ func runTraced(name string, procs, scale int, kind coherence.Kind, traceOut stri
 	if !res.Verified() {
 		status = fmt.Sprintf("FAILED (%#x != %#x)", res.Check, res.WantCheck)
 	}
-	fmt.Printf("%s: procs=%d scale=1/%d scheme=%s — %s, %d cycles\n",
+	fmt.Fprintf(out, "%s: procs=%d scale=1/%d scheme=%s — %s, %d cycles\n",
 		name, procs, scale, kind, status, res.Cycles)
-	fmt.Printf("trace digest: %s\n", rec.Digest())
+	fmt.Fprintf(out, "trace digest: %s\n", rec.Digest())
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
@@ -143,18 +209,18 @@ func runTraced(name string, procs, scale int, kind coherence.Kind, traceOut stri
 		if err := f.Close(); err != nil {
 			fatalf("close trace file: %v", err)
 		}
-		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+		fmt.Fprintf(out, "trace: %d events written to %s (load in chrome://tracing or ui.perfetto.dev)\n",
 			rec.Len(), traceOut)
 	}
 	if profile {
-		fmt.Println()
-		fmt.Print(rec.Profile().Format(20))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rec.Profile().Format(20))
 		if rtm != nil {
-			fmt.Println("\nper-site mechanism counters (runtime view):")
-			fmt.Printf("%-28s %-8s %10s %10s %10s %10s\n",
+			fmt.Fprintln(out, "\nper-site mechanism counters (runtime view):")
+			fmt.Fprintf(out, "%-28s %-8s %10s %10s %10s %10s\n",
 				"site", "mech", "reads", "writes", "remote", "migrations")
 			for _, s := range rtm.SiteStats() {
-				fmt.Printf("%-28s %-8s %10d %10d %10d %10d\n",
+				fmt.Fprintf(out, "%-28s %-8s %10d %10d %10d %10d\n",
 					s.Name, s.Mech, s.Reads, s.Writes, s.Remote, s.Migrations)
 			}
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/trace"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	// clears it along with the statistics, so the recorded trace covers
 	// exactly the timed region.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, binds the run's counters into the given
+	// registry. Like Trace it is cleared by ResetForKernel and charges no
+	// simulated cycles: makespans are identical with or without it.
+	Metrics *metrics.Registry
 	// RuntimeHook, when non-nil, observes the runtime a Run constructs
 	// internally, right after creation. Differential tests use it to
 	// fingerprint final heap contents; profilers use it for per-site
@@ -73,6 +78,7 @@ func (c Config) NewRuntimeWithHeap(heapBytes uint32) *rt.Runtime {
 		NoOverhead:       c.Baseline,
 		HeapBytesPerProc: heapBytes,
 		Trace:            c.Trace,
+		Metrics:          c.Metrics,
 	})
 	if c.RuntimeHook != nil {
 		c.RuntimeHook(r)
@@ -178,13 +184,13 @@ func Speedup(name string, procs []int, scheme coherence.Kind, mode rt.Mode, scal
 	if !ok {
 		return 0, nil, fmt.Errorf("bench: unknown benchmark %q", name)
 	}
-	base := info.Run(Config{Baseline: true, Scale: scale, Scheme: scheme})
+	base := execute(info, Config{Baseline: true, Scale: scale, Scheme: scheme})
 	if !base.Verified() {
 		return 0, nil, fmt.Errorf("bench: %s baseline check %#x != %#x", name, base.Check, base.WantCheck)
 	}
 	var sp []float64
 	for _, p := range procs {
-		res := info.Run(Config{Procs: p, Scheme: scheme, Mode: mode, Scale: scale})
+		res := execute(info, Config{Procs: p, Scheme: scheme, Mode: mode, Scale: scale})
 		if !res.Verified() {
 			return 0, nil, fmt.Errorf("bench: %s at P=%d check %#x != %#x", name, p, res.Check, res.WantCheck)
 		}

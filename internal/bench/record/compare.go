@@ -1,0 +1,102 @@
+package record
+
+import "fmt"
+
+// Tolerance bounds how much a candidate may degrade before the gate fails.
+// The simulator is deterministic, so the zero tolerance — any cycle
+// increase at all fails — is a meaningful and usable default; non-zero
+// tolerances exist for intentional-but-small cost-model adjustments.
+type Tolerance struct {
+	// CyclesFrac is the allowed fractional increase in simulated cycles
+	// (0.02 = 2%).
+	CyclesFrac float64
+	// MissPctAbs is the allowed absolute increase in cache-miss
+	// percentage points.
+	MissPctAbs float64
+}
+
+// Regression is one gate failure: a candidate configuration got worse than
+// its pinned baseline by more than the tolerance allows.
+type Regression struct {
+	Benchmark string
+	Key       string
+	Metric    string // "cycles", "miss_pct", or "verified"
+	Old, New  float64
+	Limit     float64 // the threshold the new value crossed
+}
+
+func (r Regression) String() string {
+	if r.Metric == "verified" {
+		return fmt.Sprintf("%s [%s]: run no longer verifies against the sequential reference",
+			r.Benchmark, r.Key)
+	}
+	return fmt.Sprintf("%s [%s]: %s %.6g -> %.6g (limit %.6g)",
+		r.Benchmark, r.Key, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// Compare gates candidate against baseline. It returns one Regression per
+// configuration-metric that degraded beyond tol, and an error for
+// structural problems (benchmark mismatch, a baseline configuration
+// missing from the candidate, or runs at different scales — deltas across
+// scales are meaningless).
+func Compare(baseline, candidate File, tol Tolerance) ([]Regression, error) {
+	if baseline.Benchmark != candidate.Benchmark {
+		return nil, fmt.Errorf("record: comparing %q against %q",
+			candidate.Benchmark, baseline.Benchmark)
+	}
+	var regs []Regression
+	for _, base := range baseline.Records {
+		key := base.Key()
+		cand, ok := candidate.Lookup(key)
+		if !ok {
+			return nil, fmt.Errorf("record: %s: configuration %q missing from candidate",
+				baseline.Benchmark, key)
+		}
+		if cand.Scale != base.Scale {
+			return nil, fmt.Errorf("record: %s [%s]: scale 1/%d vs baseline 1/%d — re-pin or rerun at matching scale",
+				baseline.Benchmark, key, cand.Scale, base.Scale)
+		}
+		if !cand.Verified {
+			regs = append(regs, Regression{
+				Benchmark: baseline.Benchmark, Key: key, Metric: "verified",
+			})
+		}
+		limit := float64(base.Cycles) * (1 + tol.CyclesFrac)
+		if float64(cand.Cycles) > limit {
+			regs = append(regs, Regression{
+				Benchmark: baseline.Benchmark, Key: key, Metric: "cycles",
+				Old: float64(base.Cycles), New: float64(cand.Cycles), Limit: limit,
+			})
+		}
+		if missLimit := base.MissPct + tol.MissPctAbs; cand.MissPct > missLimit {
+			regs = append(regs, Regression{
+				Benchmark: baseline.Benchmark, Key: key, Metric: "miss_pct",
+				Old: base.MissPct, New: cand.MissPct, Limit: missLimit,
+			})
+		}
+	}
+	return regs, nil
+}
+
+// CompareDirs gates a candidate set against a baseline set, matching files
+// by benchmark name. Every baseline benchmark must be present in the
+// candidate set.
+func CompareDirs(baseline, candidate []File, tol Tolerance) ([]Regression, error) {
+	byName := make(map[string]File, len(candidate))
+	for _, f := range candidate {
+		byName[f.Benchmark] = f
+	}
+	var regs []Regression
+	for _, base := range baseline {
+		cand, ok := byName[base.Benchmark]
+		if !ok {
+			return nil, fmt.Errorf("record: benchmark %q missing from candidate set", base.Benchmark)
+		}
+		r, err := Compare(base, cand, tol)
+		if err != nil {
+			return nil, err
+		}
+		regs = append(regs, r...)
+	}
+	return regs, nil
+}

@@ -1,0 +1,153 @@
+package bench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bench/record"
+	"repro/internal/coherence"
+	"repro/internal/rt"
+
+	_ "repro/internal/bench/treeadd"
+)
+
+// recScale keeps the recording tests on tiny problems; determinism does
+// not depend on size.
+const recScale = 1024
+
+// TestCollectRecordsIsDeterministic pins the property the perf gate rests
+// on: two collections of the same suite from the same binary marshal to
+// byte-identical files, so zero tolerance is a usable gate.
+func TestCollectRecordsIsDeterministic(t *testing.T) {
+	a, err := bench.CollectRecords("treeadd", 2, recScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.CollectRecords("treeadd", 2, recScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("two collections of the same suite produced different bytes")
+	}
+
+	if len(a.Records) != 5 {
+		t.Fatalf("suite has %d records, want 5", len(a.Records))
+	}
+	for _, key := range []string{
+		"baseline",
+		record.HeuristicKey(2, "local"),
+		record.HeuristicKey(2, "global"),
+		record.HeuristicKey(2, "bilateral"),
+		record.MigrateOnlyKey(2),
+	} {
+		r, ok := a.Lookup(key)
+		if !ok {
+			t.Fatalf("suite missing configuration %q", key)
+		}
+		if !r.Verified {
+			t.Fatalf("%s not verified", key)
+		}
+		if r.TraceDigest == "" || len(r.Metrics) == 0 {
+			t.Fatalf("%s record missing trace digest or metrics dump", key)
+		}
+	}
+
+	// A byte-identical rerun passes the gate at zero tolerance.
+	regs, err := record.Compare(a, b, record.Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical reruns must pass the zero-tolerance gate, got %v", regs)
+	}
+}
+
+// TestGateCatchesDeliberatelySlowedRun slows the simulation for real — a
+// costlier pointer test via the runtime hook, the kind of accidental
+// overhead a code change could introduce — and checks the zero-tolerance
+// gate fails it while the run still verifies.
+func TestGateCatchesDeliberatelySlowedRun(t *testing.T) {
+	base, err := bench.CollectRecords("treeadd", 2, recScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := bench.Get("treeadd")
+	res, slowed := bench.RunRecorded(info, bench.Config{
+		Procs: 2, Scale: recScale,
+		RuntimeHook: func(r *rt.Runtime) { r.M.Cost.PtrTest += 10 },
+	})
+	if !res.Verified() {
+		t.Fatal("the slowed run must still compute the right answer")
+	}
+	want, _ := base.Lookup(slowed.Key())
+	if slowed.Cycles <= want.Cycles {
+		t.Fatalf("slowed run took %d cycles, baseline %d — hook had no effect", slowed.Cycles, want.Cycles)
+	}
+
+	cand := base
+	cand.Records = append([]record.RunRecord(nil), base.Records...)
+	for i := range cand.Records {
+		if cand.Records[i].Key() == slowed.Key() {
+			cand.Records[i] = slowed
+		}
+	}
+	regs, err := record.Compare(base, cand, record.Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, r := range regs {
+		if r.Metric == "cycles" && r.Key == slowed.Key() {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("gate missed the slowed run: %v", regs)
+	}
+}
+
+// TestObserverSharesTablePath pins the single-code-path satellite: the
+// records streamed by the observer during a table computation carry the
+// same cycle counts the table itself reports, and observing a run does not
+// change its simulated cycles.
+func TestObserverSharesTablePath(t *testing.T) {
+	var got []record.RunRecord
+	bench.SetRunObserver(func(r record.RunRecord) { got = append(got, r) })
+	defer bench.SetRunObserver(nil)
+
+	baseCycles, sp, err := bench.Speedup("treeadd", []int{2}, coherence.LocalKnowledge, rt.Heuristic, recScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 1 {
+		t.Fatalf("speedups = %v, want one entry", sp)
+	}
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d records, want 2 (baseline + P=2)", len(got))
+	}
+	if got[0].Key() != "baseline" || got[0].Cycles != baseCycles {
+		t.Fatalf("observed baseline %+v does not match the table's %d cycles", got[0], baseCycles)
+	}
+	wantPar := float64(baseCycles) / sp[0]
+	if par := float64(got[1].Cycles); par != wantPar {
+		t.Fatalf("observed parallel cycles %v, table implies %v", par, wantPar)
+	}
+
+	// The observed parallel run matches an unobserved one exactly.
+	bench.SetRunObserver(nil)
+	info, _ := bench.Get("treeadd")
+	plain := info.Run(bench.Config{Procs: 2, Scale: recScale})
+	if plain.Cycles != got[1].Cycles {
+		t.Fatalf("observing a run changed its makespan: %d != %d", got[1].Cycles, plain.Cycles)
+	}
+}

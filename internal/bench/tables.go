@@ -52,7 +52,7 @@ func Table2(procs []int, scale int, scheme coherence.Kind) (string, error) {
 		for _, s := range sp {
 			fmt.Fprintf(&sb, " %-7.2f", s)
 		}
-		mo := info.Run(Config{Procs: maxP, Scheme: scheme, Mode: rt.MigrateOnly, Scale: scale})
+		mo := execute(info, Config{Procs: maxP, Scheme: scheme, Mode: rt.MigrateOnly, Scale: scale})
 		if !mo.Verified() {
 			return sb.String(), fmt.Errorf("%s migrate-only failed verification", name)
 		}
@@ -86,7 +86,7 @@ func Table3(procs, scale int) (string, error) {
 		var miss [3]float64
 		var local Result
 		for i, scheme := range []coherence.Kind{coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral} {
-			res := info.Run(Config{Procs: procs, Scheme: scheme, Scale: scale})
+			res := execute(info, Config{Procs: procs, Scheme: scheme, Scale: scale})
 			if !res.Verified() {
 				return sb.String(), fmt.Errorf("%s under %s failed verification", name, scheme)
 			}
@@ -189,7 +189,7 @@ func Curve(name string, procs []int, scale int, scheme coherence.Kind) (string, 
 		return "", fmt.Errorf("unknown benchmark %q", name)
 	}
 	var sb strings.Builder
-	base := info.Run(Config{Baseline: true, Scale: scale})
+	base := execute(info, Config{Baseline: true, Scale: scale})
 	if !base.Verified() {
 		return "", fmt.Errorf("baseline failed verification")
 	}
@@ -198,9 +198,9 @@ func Curve(name string, procs []int, scale int, scheme coherence.Kind) (string, 
 	fmt.Fprintf(&sb, "%-6s %12s %14s %12s %10s %8s\n",
 		"P", "heuristic", "migrate-only", "cache-only", "migrations", "miss%")
 	for _, p := range procs {
-		h := info.Run(Config{Procs: p, Scale: scale, Scheme: scheme})
-		m := info.Run(Config{Procs: p, Scale: scale, Scheme: scheme, Mode: rt.MigrateOnly})
-		c := info.Run(Config{Procs: p, Scale: scale, Scheme: scheme, Mode: rt.CacheOnly})
+		h := execute(info, Config{Procs: p, Scale: scale, Scheme: scheme})
+		m := execute(info, Config{Procs: p, Scale: scale, Scheme: scheme, Mode: rt.MigrateOnly})
+		c := execute(info, Config{Procs: p, Scale: scale, Scheme: scheme, Mode: rt.CacheOnly})
 		for _, r := range []Result{h, m, c} {
 			if !r.Verified() {
 				return sb.String(), fmt.Errorf("P=%d failed verification", p)

@@ -194,13 +194,16 @@ func (c *Cache) MarkAllStale() (pages int) {
 
 // Refresh completes a bilateral timestamp check: lines written at home
 // since the entry's stamp are invalidated, the stamp advances, and the
-// staleness mark clears.
-func (c *Cache) Refresh(e *Entry, changed uint32, newStamp uint32) {
+// staleness mark clears. It returns the number of valid lines the refresh
+// discarded (like the other invalidation paths).
+func (c *Cache) Refresh(e *Entry, changed uint32, newStamp uint32) (lines int) {
 	c.mu.Lock()
+	lines = bits.OnesCount32(e.Valid & changed)
 	e.Valid &^= changed
 	e.Stamp = newStamp
 	e.Stale = false
 	c.mu.Unlock()
+	return lines
 }
 
 // Clear drops every entry (used between benchmark phases).

@@ -22,12 +22,14 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/gaddr"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -113,10 +115,24 @@ type Engine struct {
 	m      *machine.Machine
 	caches []*cache.Cache
 	dirs   []*directory
+
+	// Registry-backed protocol meters, labelled with the scheme so runs
+	// under different schemes dump distinguishable series. All handles
+	// are nil when the machine carries no registry (the nil-safe
+	// disabled state).
+	mLinesInval *metrics.Counter
+	mAckWaits   *metrics.Counter
+	mMsgInval   *metrics.Counter
+	mMsgAck     *metrics.Counter
+	mMsgStamp   *metrics.Counter
+	mMsgFlush   *metrics.Counter
+	mMsgHome    *metrics.Counter
+	mMsgStale   *metrics.Counter
 }
 
 // New wires an engine to the machine and the per-processor caches
-// (caches[i] belongs to processor i).
+// (caches[i] belongs to processor i). The machine's metrics registry, when
+// attached, receives the engine's per-scheme protocol counters.
 func New(kind Kind, m *machine.Machine, caches []*cache.Cache) *Engine {
 	if len(caches) != m.P() {
 		panic("coherence: one cache per processor required")
@@ -125,6 +141,19 @@ func New(kind Kind, m *machine.Machine, caches []*cache.Cache) *Engine {
 	for i := 0; i < m.P(); i++ {
 		e.dirs = append(e.dirs, &directory{pages: map[gaddr.PageID]*pageDir{}})
 	}
+	reg := m.Metrics
+	scheme := metrics.L("scheme", kind.String())
+	msg := func(typ string) *metrics.Counter {
+		return reg.Counter("olden_protocol_messages_total", scheme, metrics.L("type", typ))
+	}
+	e.mLinesInval = reg.Counter("olden_lines_invalidated_total", scheme)
+	e.mAckWaits = reg.Counter("olden_ack_round_trips_total", scheme)
+	e.mMsgInval = msg("inval")
+	e.mMsgAck = msg("ack")
+	e.mMsgStamp = msg("stamp_check")
+	e.mMsgFlush = msg("full_flush")
+	e.mMsgHome = msg("home_flush")
+	e.mMsgStale = msg("mark_stale")
 	return e
 }
 
@@ -194,6 +223,8 @@ func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
 				// Processing the invalidation occupies the sharer.
 				e.m.Procs[s].Occupy(now, e.m.Cost.InvalidateMsg)
 				e.m.Stats.Invalidations.Add(1)
+				e.mMsgInval.Inc()
+				e.mLinesInval.Add(int64(bits.OnesCount32(cleared)))
 				sent = true
 				if tr != nil {
 					tr.Emit(trace.Event{
@@ -214,6 +245,8 @@ func (e *Engine) OnRelease(src int, now int64, dirty DirtySet) int64 {
 					})
 				}
 				now += e.m.Cost.InvalidateAck
+				e.mMsgAck.Inc()
+				e.mAckWaits.Inc()
 			}
 		}
 	case Bilateral:
@@ -245,6 +278,8 @@ func (e *Engine) OnAcquire(dst int, now int64, isReturn bool, writtenProcs uint6
 		if isReturn {
 			if writtenProcs != 0 {
 				lines := e.caches[dst].InvalidateHomes(writtenProcs)
+				e.mMsgHome.Inc()
+				e.mLinesInval.Add(int64(lines))
 				if tr != nil {
 					tr.Emit(trace.Event{
 						Kind: trace.EvHomeFlush, T: now,
@@ -257,6 +292,8 @@ func (e *Engine) OnAcquire(dst int, now int64, isReturn bool, writtenProcs uint6
 		} else {
 			lines := e.caches[dst].InvalidateAll()
 			e.m.Stats.FullFlushes.Add(1)
+			e.mMsgFlush.Inc()
+			e.mLinesInval.Add(int64(lines))
 			if tr != nil {
 				tr.Emit(trace.Event{
 					Kind: trace.EvFullFlush, T: now,
@@ -270,6 +307,7 @@ func (e *Engine) OnAcquire(dst int, now int64, isReturn bool, writtenProcs uint6
 		// Invalidations were pushed eagerly at the release.
 	case Bilateral:
 		pages := e.caches[dst].MarkAllStale()
+		e.mMsgStale.Inc()
 		if tr != nil {
 			tr.Emit(trace.Event{
 				Kind: trace.EvMarkStale, T: now,
@@ -305,8 +343,10 @@ func (e *Engine) StaleCheck(entry *cache.Entry, requester int, now int64) int64 
 	}
 	newStamp := pd.stamp
 	d.mu.Unlock()
-	e.caches[requester].Refresh(entry, changed, newStamp)
+	lines := e.caches[requester].Refresh(entry, changed, newStamp)
 	e.m.Stats.StampChecks.Add(1)
+	e.mMsgStamp.Inc()
+	e.mLinesInval.Add(int64(lines))
 	return now + e.m.Cost.StampReply
 }
 

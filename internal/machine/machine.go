@@ -23,10 +23,11 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -100,6 +101,12 @@ type Machine struct {
 	// misses, coherence traffic) for the trace/profile layer. Nil — the
 	// default — disables recording; every emit point guards on it.
 	Tracer *trace.Recorder
+	// Metrics, when non-nil, is the metrics registry the machine's
+	// statistics are bound into (see Stats.Bind) and that the runtime and
+	// coherence layers register their own counters with. Nil — the
+	// default — disables registry recording; the Stats counters
+	// themselves are always live.
+	Metrics *metrics.Registry
 }
 
 // New builds a machine.
@@ -152,28 +159,62 @@ func (m *Machine) ResetClocks() {
 	}
 }
 
-// Stats aggregates machine-wide event counters. All fields are updated with
-// atomics so threads on any processor may bump them concurrently; Reset and
+// Stats aggregates machine-wide event counters. The fields are
+// metrics.Counters — atomically updated, so threads on any processor may
+// bump them concurrently — which lets Bind expose the same hot-path
+// counters through a metrics registry without double counting. Reset and
 // Snapshot additionally serialize against each other (mu), so a snapshot
 // taken mid-run — as the trace profiler does — never interleaves with a
 // phase boundary's reset and observes half-cleared counters.
 type Stats struct {
 	mu              sync.Mutex
-	PtrTests        atomic.Int64 // locality checks executed
-	Migrations      atomic.Int64 // forward migrations
-	Returns         atomic.Int64 // return-stub migrations
-	Futures         atomic.Int64 // futurecalls issued
-	Touches         atomic.Int64 // touches executed
-	CacheableReads  atomic.Int64 // reads at cached sites
-	CacheableWrites atomic.Int64 // writes at cached sites
-	RemoteReads     atomic.Int64 // cacheable reads to remote addresses
-	RemoteWrites    atomic.Int64 // cacheable writes to remote addresses
-	Misses          atomic.Int64 // remote references paying a protocol round trip
-	LineFetches     atomic.Int64 // 64-byte line transfers
-	PagesCached     atomic.Int64 // cache page entries ever allocated
-	Invalidations   atomic.Int64 // invalidation messages (global scheme)
-	StampChecks     atomic.Int64 // timestamp round trips (bilateral scheme)
-	FullFlushes     atomic.Int64 // whole-cache invalidations (local scheme)
+	PtrTests        metrics.Counter // locality checks executed
+	Migrations      metrics.Counter // forward migrations
+	Returns         metrics.Counter // return-stub migrations
+	Futures         metrics.Counter // futurecalls issued
+	Touches         metrics.Counter // touches executed
+	CacheableReads  metrics.Counter // reads at cached sites
+	CacheableWrites metrics.Counter // writes at cached sites
+	RemoteReads     metrics.Counter // cacheable reads to remote addresses
+	RemoteWrites    metrics.Counter // cacheable writes to remote addresses
+	Misses          metrics.Counter // remote references paying a protocol round trip
+	LineFetches     metrics.Counter // 64-byte line transfers
+	PagesCached     metrics.Counter // cache page entries ever allocated
+	Invalidations   metrics.Counter // invalidation messages (global scheme)
+	StampChecks     metrics.Counter // timestamp round trips (bilateral scheme)
+	FullFlushes     metrics.Counter // whole-cache invalidations (local scheme)
+}
+
+// Bind registers every Stats counter into the registry under its canonical
+// olden_* name, so registry snapshots and exports carry the machine's
+// statistics without a second set of increments on the hot path.
+func (s *Stats) Bind(reg *metrics.Registry) {
+	reg.RegisterCounter("olden_ptr_tests_total", &s.PtrTests)
+	reg.RegisterCounter("olden_migrations_total", &s.Migrations)
+	reg.RegisterCounter("olden_returns_total", &s.Returns)
+	reg.RegisterCounter("olden_futures_spawned_total", &s.Futures)
+	reg.RegisterCounter("olden_futures_touched_total", &s.Touches)
+	reg.RegisterCounter("olden_cacheable_reads_total", &s.CacheableReads)
+	reg.RegisterCounter("olden_cacheable_writes_total", &s.CacheableWrites)
+	reg.RegisterCounter("olden_remote_reads_total", &s.RemoteReads)
+	reg.RegisterCounter("olden_remote_writes_total", &s.RemoteWrites)
+	reg.RegisterCounter("olden_cache_misses_total", &s.Misses)
+	reg.RegisterCounter("olden_line_fetches_total", &s.LineFetches)
+	reg.RegisterCounter("olden_pages_cached_total", &s.PagesCached)
+	reg.RegisterCounter("olden_invalidation_msgs_total", &s.Invalidations)
+	reg.RegisterCounter("olden_stamp_checks_total", &s.StampChecks)
+	reg.RegisterCounter("olden_full_flushes_total", &s.FullFlushes)
+}
+
+// BindProcs registers per-processor read-through gauges (cumulative cache
+// pages allocated is bound by the runtime, which owns the caches). Here the
+// machine contributes each processor's busy-cycle account.
+func (m *Machine) BindProcs(reg *metrics.Registry) {
+	for _, p := range m.Procs {
+		p := p
+		reg.RegisterFunc("olden_proc_busy_cycles", metrics.KindGauge,
+			p.Busy, metrics.L("proc", strconv.Itoa(p.ID)))
+	}
 }
 
 // Reset zeroes every counter. It is safe against concurrent Snapshot calls

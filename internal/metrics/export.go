@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bucket is one non-empty histogram bucket in a snapshot: Le is the
+// inclusive upper bound of the bucket's value range and Count the number of
+// observations that landed in it (non-cumulative).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSample is the snapshot of one histogram.
+type HistSample struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Sample is the snapshot of one metric. For histograms Value is the
+// observation count and Hist carries the distribution.
+type Sample struct {
+	Name   string      `json:"name"`
+	Labels []Label     `json:"labels,omitempty"`
+	Kind   string      `json:"kind"`
+	Value  int64       `json:"value"`
+	Hist   *HistSample `json:"histogram,omitempty"`
+
+	id string // name + canonical labels, for sorting and diffing
+}
+
+// ID returns the sample's canonical identity: name plus sorted labels,
+// rendered as name{k="v",...}.
+func (s Sample) ID() string {
+	if s.id != "" {
+		return s.id
+	}
+	return s.Name + labelID(s.Labels)
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric ID so
+// two snapshots of the same registry state render identically.
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot copies every registered metric. Function-backed metrics are read
+// at call time. Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.index))
+	for _, e := range r.index {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for _, e := range entries {
+		s := Sample{Name: e.name, Labels: e.labels, Kind: e.kind.String(), id: e.id}
+		switch {
+		case e.fn != nil:
+			s.Value = e.fn()
+		case e.c != nil:
+			s.Value = e.c.Load()
+		case e.g != nil:
+			s.Value = e.g.Load()
+		case e.h != nil:
+			hs := &HistSample{Count: e.h.Count(), Sum: e.h.Sum()}
+			for i := 0; i < NumBuckets; i++ {
+				if n := e.h.buckets[i].Load(); n > 0 {
+					hs.Buckets = append(hs.Buckets, Bucket{Le: BucketBound(i), Count: n})
+				}
+			}
+			s.Value = hs.Count
+			s.Hist = hs
+		}
+		snap.Samples = append(snap.Samples, s)
+	}
+	sort.Slice(snap.Samples, func(i, j int) bool { return snap.Samples[i].ID() < snap.Samples[j].ID() })
+	return snap
+}
+
+// Get returns the sample with the given name and labels, if present.
+func (s Snapshot) Get(name string, labels ...Label) (Sample, bool) {
+	id := name + labelID(canonLabels(labels))
+	for _, sm := range s.Samples {
+		if sm.ID() == id {
+			return sm, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Diff returns this snapshot with every counter and histogram reduced by
+// its value in prev (samples absent from prev keep their full value).
+// Gauges and function-backed values are reported as-is: a delta of a level
+// has no meaning. Samples whose diffed value and count are both zero are
+// dropped, so a diff over an idle interval is empty.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	prevByID := make(map[string]Sample, len(prev.Samples))
+	for _, p := range prev.Samples {
+		prevByID[p.ID()] = p
+	}
+	var out Snapshot
+	for _, cur := range s.Samples {
+		d := cur
+		if p, ok := prevByID[cur.ID()]; ok && cur.Kind == KindCounter.String() {
+			d.Value -= p.Value
+		} else if ok && cur.Kind == KindHistogram.String() && cur.Hist != nil {
+			h := &HistSample{Count: cur.Hist.Count, Sum: cur.Hist.Sum}
+			if p.Hist != nil {
+				h.Count -= p.Hist.Count
+				h.Sum -= p.Hist.Sum
+				pb := make(map[int64]int64, len(p.Hist.Buckets))
+				for _, b := range p.Hist.Buckets {
+					pb[b.Le] = b.Count
+				}
+				for _, b := range cur.Hist.Buckets {
+					if n := b.Count - pb[b.Le]; n != 0 {
+						h.Buckets = append(h.Buckets, Bucket{Le: b.Le, Count: n})
+					}
+				}
+			} else {
+				h.Buckets = cur.Hist.Buckets
+			}
+			d.Hist = h
+			d.Value = h.Count
+		}
+		if d.Value == 0 && d.Hist == nil {
+			continue
+		}
+		if d.Hist != nil && d.Hist.Count == 0 && d.Hist.Sum == 0 {
+			continue
+		}
+		out.Samples = append(out.Samples, d)
+	}
+	return out
+}
+
+// Flat renders the snapshot as a sorted map from metric ID to value —
+// the compact form benchmark records embed. Histograms contribute
+// <id>:count and <id>:sum entries plus one entry per non-empty bucket.
+func (s Snapshot) Flat() map[string]int64 {
+	out := make(map[string]int64, len(s.Samples))
+	for _, sm := range s.Samples {
+		if sm.Hist == nil {
+			out[sm.ID()] = sm.Value
+			continue
+		}
+		out[sm.ID()+":count"] = sm.Hist.Count
+		out[sm.ID()+":sum"] = sm.Hist.Sum
+		for _, b := range sm.Hist.Buckets {
+			out[fmt.Sprintf("%s:le=%d", sm.ID(), b.Le)] = b.Count
+		}
+	}
+	return out
+}
+
+// Text renders the snapshot as aligned name value lines, histograms as
+// count/sum/mean — the human-readable dump behind oldenbench output.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	w := 0
+	for _, sm := range s.Samples {
+		if n := len(sm.ID()); n > w {
+			w = n
+		}
+	}
+	for _, sm := range s.Samples {
+		if sm.Hist == nil {
+			fmt.Fprintf(&sb, "%-*s %d\n", w, sm.ID(), sm.Value)
+			continue
+		}
+		mean := 0.0
+		if sm.Hist.Count > 0 {
+			mean = float64(sm.Hist.Sum) / float64(sm.Hist.Count)
+		}
+		fmt.Fprintf(&sb, "%-*s count=%d sum=%d mean=%.1f\n", w, sm.ID(), sm.Hist.Count, sm.Hist.Sum, mean)
+	}
+	return sb.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): TYPE comments, one line per sample, histograms with
+// cumulative le buckets, _sum and _count series.
+func (s Snapshot) Prometheus() string {
+	var sb strings.Builder
+	typed := map[string]bool{}
+	for _, sm := range s.Samples {
+		if !typed[sm.Name] {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", sm.Name, sm.Kind)
+			typed[sm.Name] = true
+		}
+		if sm.Hist == nil {
+			fmt.Fprintf(&sb, "%s%s %d\n", sm.Name, labelID(sm.Labels), sm.Value)
+			continue
+		}
+		var cum int64
+		for _, b := range sm.Hist.Buckets {
+			cum += b.Count
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", sm.Name, promLabels(sm.Labels, fmt.Sprintf("%d", b.Le)), cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket%s %d\n", sm.Name, promLabels(sm.Labels, "+Inf"), sm.Hist.Count)
+		fmt.Fprintf(&sb, "%s_sum%s %d\n", sm.Name, labelID(sm.Labels), sm.Hist.Sum)
+		fmt.Fprintf(&sb, "%s_count%s %d\n", sm.Name, labelID(sm.Labels), sm.Hist.Count)
+	}
+	return sb.String()
+}
+
+// promLabels renders labels plus the histogram le label.
+func promLabels(labels []Label, le string) string {
+	ls := make([]Label, len(labels), len(labels)+1)
+	copy(ls, labels)
+	ls = append(ls, Label{Key: "le", Value: le})
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return labelID(ls)
+}

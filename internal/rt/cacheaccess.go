@@ -43,6 +43,9 @@ func (t *Thread) cacheAccess(s *Site, a gaddr.GP) *cacheRef {
 	}
 	if missed {
 		t.rt.M.Stats.Misses.Add(1)
+		t.rt.mMissLat.Observe(t.now - start)
+	} else {
+		t.rt.mCacheHits.Inc()
 	}
 	if tr != nil {
 		ev := trace.Event{
@@ -75,6 +78,7 @@ func (t *Thread) fetchLine(c *cache.Cache, e *cache.Entry, a gaddr.GP) {
 	c.InstallLine(e, line, buf)
 	t.rt.Coh.RegisterSharer(e.Page, t.loc)
 	t.rt.M.Stats.LineFetches.Add(1)
+	t.rt.mLineFills.Inc()
 	if tr := t.rt.M.Tracer; tr != nil {
 		tr.Emit(trace.Event{
 			Kind: trace.EvLineFetch, T: start, Dur: t.now - start,

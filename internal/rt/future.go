@@ -96,6 +96,7 @@ func (f *Future[T]) Touch(t *Thread) T {
 		})
 	}
 	t.rt.M.Stats.Touches.Add(1)
+	t.rt.mTouchBlock.Observe(t.now - start)
 	t.chargeHere(t.rt.M.Cost.Touch)
 	return v
 }

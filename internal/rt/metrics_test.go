@@ -1,0 +1,163 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/gaddr"
+	"repro/internal/metrics"
+)
+
+// buildRemoteList allocates a two-node cross-processor list so a traversal
+// generates remote references.
+func buildRemoteList(r *Runtime) (gaddr.GP, gaddr.GP) {
+	var a, b gaddr.GP
+	r.Run(0, func(t *Thread) {
+		site := &Site{Name: "mt.init", Mech: Cache}
+		a = t.Alloc(0, 16)
+		b = t.Alloc(1, 16)
+		t.StoreInt(site, a, 0, 1)
+		t.StoreInt(site, b, 0, 2)
+	})
+	return a, b
+}
+
+func TestMetricsRegistryRecordsRun(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Procs: 2, Metrics: reg})
+	a, b := buildRemoteList(r)
+	site := &Site{Name: "mt.walk", Mech: Cache}
+	// The build phase's remote store to b already missed and installed
+	// b's line (write-through fills), so both kernel loads of b hit.
+	r.Run(0, func(th *Thread) {
+		th.LoadInt(site, a, 0) // local
+		th.LoadInt(site, b, 0) // remote: hit
+		th.LoadInt(site, b, 0) // remote: hit
+	})
+	snap := reg.Snapshot()
+
+	// The machine statistics are bound into the registry under olden_*
+	// names and agree with the Stats view.
+	st := r.M.Stats.Snapshot()
+	if sm, ok := snap.Get("olden_cache_misses_total"); !ok || sm.Value != st.Misses {
+		t.Fatalf("olden_cache_misses_total = %+v, want %d", sm, st.Misses)
+	}
+	if sm, ok := snap.Get("olden_ptr_tests_total"); !ok || sm.Value != st.PtrTests {
+		t.Fatalf("olden_ptr_tests_total = %+v, want %d", sm, st.PtrTests)
+	}
+
+	// The runtime's own meters: two hits (kernel), one miss with a
+	// latency observation and one line fill (the build-phase store).
+	if sm, _ := snap.Get("olden_cache_hits_total"); sm.Value != 2 {
+		t.Fatalf("olden_cache_hits_total = %d, want 2", sm.Value)
+	}
+	if sm, _ := snap.Get("olden_line_fills_total"); sm.Value != 1 {
+		t.Fatalf("olden_line_fills_total = %d, want 1", sm.Value)
+	}
+	sm, ok := snap.Get("olden_miss_latency_cycles")
+	if !ok || sm.Hist == nil || sm.Hist.Count != 1 || sm.Hist.Sum <= 0 {
+		t.Fatalf("olden_miss_latency_cycles = %+v, want one positive observation", sm)
+	}
+}
+
+func TestMetricsMigrationAndProtocolCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Procs: 2, Scheme: coherence.GlobalKnowledge, Metrics: reg})
+	a, b := buildRemoteList(r)
+	mig := &Site{Name: "mt.mig", Mech: Migrate}
+	cch := &Site{Name: "mt.cch", Mech: Cache}
+	r.Run(0, func(th *Thread) {
+		th.LoadInt(cch, b, 0) // cache proc 1's line on proc 0
+		CallVoid(th, func() {
+			th.LoadInt(mig, b, 0)     // migrate 0→1
+			th.StoreInt(cch, b, 8, 9) // dirty proc 1's page
+		}) // return stub 1→0 releases the dirty page → invalidation + ack
+		th.LoadInt(cch, a, 0)
+	})
+	snap := reg.Snapshot()
+	scheme := metrics.L("scheme", "global")
+	if sm, _ := snap.Get("olden_migrations_total"); sm.Value != 1 {
+		t.Fatalf("olden_migrations_total = %d, want 1", sm.Value)
+	}
+	if sm, ok := snap.Get("olden_migration_transit_cycles", metrics.L("kind", "forward")); !ok || sm.Hist == nil || sm.Hist.Count != 1 {
+		t.Fatalf("forward transit histogram = %+v, want 1 observation", sm)
+	}
+	if sm, ok := snap.Get("olden_migration_transit_cycles", metrics.L("kind", "return")); !ok || sm.Hist == nil || sm.Hist.Count != 1 {
+		t.Fatalf("return transit histogram = %+v, want 1 observation", sm)
+	}
+	if sm, _ := snap.Get("olden_protocol_messages_total", scheme, metrics.L("type", "inval")); sm.Value != 1 {
+		t.Fatalf("inval messages = %d, want 1", sm.Value)
+	}
+	if sm, _ := snap.Get("olden_ack_round_trips_total", scheme); sm.Value != 1 {
+		t.Fatalf("ack round trips = %d, want 1", sm.Value)
+	}
+	if sm, _ := snap.Get("olden_lines_invalidated_total", scheme); sm.Value != 1 {
+		t.Fatalf("lines invalidated = %d, want 1", sm.Value)
+	}
+}
+
+// TestResetForKernelResetsMetrics pins the epoch rule: a benchmark's
+// ResetForKernel clears the metrics registry along with the statistics and
+// the trace, so a kernel-timed record cannot mix build-phase counts.
+func TestResetForKernelResetsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Config{Procs: 2, Metrics: reg})
+	a, b := buildRemoteList(r)
+	site := &Site{Name: "mt.build", Mech: Cache}
+	r.Run(0, func(th *Thread) {
+		th.LoadInt(site, b, 0)
+		th.LoadInt(site, a, 0)
+	})
+	if sm, _ := reg.Snapshot().Get("olden_ptr_tests_total"); sm.Value == 0 {
+		t.Fatal("build phase should have recorded pointer tests")
+	}
+
+	r.ResetForKernel()
+
+	snap := reg.Snapshot()
+	for _, s := range snap.Samples {
+		// Read-through meters over cumulative cache state keep their
+		// lifetime semantics (pages ever allocated survive phase
+		// resets, exactly like Table 3's cumulative page count).
+		if s.Name == "olden_cache_pages_allocated" || s.Name == "olden_proc_busy_cycles" {
+			continue
+		}
+		if s.Value != 0 {
+			t.Errorf("%s = %d after ResetForKernel, want 0", s.ID(), s.Value)
+		}
+		if s.Hist != nil && (s.Hist.Count != 0 || s.Hist.Sum != 0) {
+			t.Errorf("%s histogram not cleared: %+v", s.ID(), s.Hist)
+		}
+	}
+	// Busy-cycle gauges do reset with the clocks.
+	if sm, ok := reg.Snapshot().Get("olden_proc_busy_cycles", metrics.L("proc", "0")); !ok || sm.Value != 0 {
+		t.Fatalf("proc busy gauge = %+v, want 0 after clock reset", sm)
+	}
+
+	// And the kernel epoch accumulates fresh counts.
+	kernel := &Site{Name: "mt.kernel", Mech: Cache}
+	r.Run(0, func(th *Thread) { th.LoadInt(kernel, b, 0) })
+	if sm, _ := reg.Snapshot().Get("olden_ptr_tests_total"); sm.Value != 1 {
+		t.Fatalf("kernel epoch ptr tests = %d, want exactly 1", sm.Value)
+	}
+}
+
+// TestMetricsOffByDefault pins the disabled state: no registry, nil
+// handles, identical simulation results.
+func TestMetricsOffByDefault(t *testing.T) {
+	run := func(reg *metrics.Registry) int64 {
+		r := New(Config{Procs: 2, Metrics: reg})
+		a, b := buildRemoteList(r)
+		site := &Site{Name: "mt.off", Mech: Cache}
+		return r.Run(0, func(th *Thread) {
+			th.LoadInt(site, a, 0)
+			th.LoadInt(site, b, 0)
+		})
+	}
+	if r := New(Config{Procs: 1}); r.Metrics() != nil {
+		t.Fatal("metrics must be off by default")
+	}
+	if off, on := run(nil), run(metrics.NewRegistry()); off != on {
+		t.Fatalf("metrics recording changed the simulation: %d != %d cycles", off, on)
+	}
+}

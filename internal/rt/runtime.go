@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -128,6 +129,14 @@ type Config struct {
 	// the given recorder. Nil — the default — disables recording; the
 	// cost model and all statistics are unaffected either way.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is a registry the runtime binds the
+	// machine's statistics into and registers its own counters and
+	// latency histograms with (cache hits, miss and migration transit
+	// distributions, per-processor cache occupancy). Nil — the default —
+	// disables registry recording; simulated cycles are identical either
+	// way, since registering and updating metrics charges no simulated
+	// work.
+	Metrics *metrics.Registry
 }
 
 // Runtime binds a machine, its per-processor software caches, and a
@@ -159,6 +168,16 @@ type Runtime struct {
 	sites map[string]*Site
 	dups  map[string]int
 
+	// Registry-backed meters beyond the machine's aggregate statistics.
+	// All handles are nil when Config.Metrics was nil (the nil-safe
+	// disabled state).
+	mCacheHits  *metrics.Counter
+	mLineFills  *metrics.Counter
+	mMissLat    *metrics.Histogram
+	mMigLat     *metrics.Histogram
+	mReturnLat  *metrics.Histogram
+	mTouchBlock *metrics.Histogram
+
 	live sync.WaitGroup // outstanding future bodies
 }
 
@@ -170,9 +189,19 @@ func New(cfg Config) *Runtime {
 		Cost:             cfg.Cost,
 	})
 	m.Tracer = cfg.Trace
+	m.Metrics = cfg.Metrics
 	caches := make([]*cache.Cache, cfg.Procs)
 	for i := range caches {
 		caches[i] = cache.New()
+	}
+	if reg := cfg.Metrics; reg != nil {
+		m.Stats.Bind(reg)
+		m.BindProcs(reg)
+		for i, c := range caches {
+			c := c
+			reg.RegisterFunc("olden_cache_pages_allocated", metrics.KindCounter,
+				c.PagesAllocated, metrics.L("proc", fmt.Sprint(i)))
+		}
 	}
 	dirty := make([]coherence.DirtySet, cfg.Procs)
 	for i := range dirty {
@@ -190,8 +219,19 @@ func New(cfg Config) *Runtime {
 		dirty:    dirty,
 		sites:    map[string]*Site{},
 		dups:     map[string]int{},
+
+		mCacheHits:  cfg.Metrics.Counter("olden_cache_hits_total"),
+		mLineFills:  cfg.Metrics.Counter("olden_line_fills_total"),
+		mMissLat:    cfg.Metrics.Histogram("olden_miss_latency_cycles"),
+		mMigLat:     cfg.Metrics.Histogram("olden_migration_transit_cycles", metrics.L("kind", "forward")),
+		mReturnLat:  cfg.Metrics.Histogram("olden_migration_transit_cycles", metrics.L("kind", "return")),
+		mTouchBlock: cfg.Metrics.Histogram("olden_touch_blocked_cycles"),
 	}
 }
+
+// Metrics returns the runtime's metrics registry, or nil when registry
+// recording is off.
+func (r *Runtime) Metrics() *metrics.Registry { return r.M.Metrics }
 
 // Tracer returns the runtime's trace recorder, or nil when tracing is off.
 func (r *Runtime) Tracer() *trace.Recorder { return r.M.Tracer }
@@ -278,6 +318,9 @@ func (r *Runtime) ResetForKernel() {
 	if r.M.Tracer != nil {
 		r.M.Tracer.Reset()
 	}
+	// The metrics registry follows the same epoch: a kernel-timed record
+	// must not mix build-phase counts into its dump. (Reset is nil-safe.)
+	r.M.Metrics.Reset()
 }
 
 // HeapFingerprint hashes the allocated contents of every processor's heap

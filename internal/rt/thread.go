@@ -148,6 +148,11 @@ func (t *Thread) migrate(dst int, isReturn bool, writtenProcs uint64, site int32
 	t.now += net
 	t.now = t.rt.M.Procs[dst].Occupy(t.now, recv)
 	t.now = t.rt.Coh.OnAcquire(dst, t.now, isReturn, writtenProcs)
+	if isReturn {
+		t.rt.mReturnLat.Observe(t.now - depart)
+	} else {
+		t.rt.mMigLat.Observe(t.now - depart)
+	}
 	if tr := t.rt.M.Tracer; tr != nil {
 		kind := trace.EvMigrate
 		if isReturn {

@@ -2,7 +2,7 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt test race fuzz oldenvet lint bench report perfgate
+.PHONY: check build vet fmt test race fuzz oldenvet lint bench report perfgate serve load servesmoke
 
 # Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
 # real fuzzing session.
@@ -57,6 +57,23 @@ report:
 perfgate:
 	$(GO) run ./cmd/oldenbench -record $(PERFGATE_DIR) -maxprocs $(BASELINE_PROCS)
 	$(GO) run ./cmd/oldenreport -candidate $(PERFGATE_DIR)
+
+# The serving layer. `make serve` runs oldend in the foreground (ctrl-C
+# or SIGTERM drains gracefully); `make load` fires a short closed-loop
+# burst at it from another terminal; `make servesmoke` reproduces the CI
+# smoke end to end: boot, memoization check, over-admission burst with
+# zero-5xx gate, cached-latency SLO, SIGTERM drain under load.
+SERVE_ADDR ?= 127.0.0.1:8080
+LOAD_DURATION ?= 5s
+
+serve:
+	$(GO) run ./cmd/oldend -addr $(SERVE_ADDR)
+
+load:
+	$(GO) run ./cmd/oldenload -url http://$(SERVE_ADDR) -c 4 -duration $(LOAD_DURATION) -slo-error-rate 0
+
+servesmoke:
+	bash scripts/serve_smoke.sh
 
 # oldenc -lint exits 1 only on error-severity diagnostics; the known
 # warnings (figure3's dead store, the figure5/barneshut demotions) pass.

@@ -28,6 +28,10 @@
 // -json moves the human tables to stderr and emits one JSON object per
 // benchmark run on stdout; cmd/oldenreport renders and gates the pinned
 // files.
+//
+// -list prints the machine-readable benchmark catalog (names, coherence
+// schemes, mechanism modes, default parameters) as JSON — byte-identical
+// to oldend's GET /benchmarks, so clients of either can never drift.
 package main
 
 import (
@@ -72,7 +76,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one RunRecord JSON object per benchmark run on stdout (human output moves to stderr)")
 	recordDir := flag.String("record", "", "run the pinned record suite at -maxprocs/-scale and write BENCH_<name>.json files into this directory")
 	update := flag.Bool("update-baselines", false, "shorthand for -record . : re-pin the committed baselines")
+	list := flag.Bool("list", false, "print the machine-readable benchmark catalog (names, schemes, modes, default params) as JSON and exit")
 	flag.Parse()
+
+	if *list {
+		b, err := bench.CatalogJSON()
+		if err != nil {
+			fatalf("catalog: %v", err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
 
 	out := io.Writer(os.Stdout)
 	if *jsonOut {
@@ -94,16 +108,9 @@ func main() {
 		}
 		procs = append(procs, v)
 	}
-	var kind coherence.Kind
-	switch *scheme {
-	case "local":
-		kind = coherence.LocalKnowledge
-	case "global":
-		kind = coherence.GlobalKnowledge
-	case "bilateral":
-		kind = coherence.Bilateral
-	default:
-		fatalf("unknown -scheme %q", *scheme)
+	kind, err := coherence.Parse(*scheme)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	switch {

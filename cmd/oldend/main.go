@@ -1,0 +1,106 @@
+// Command oldend is the Olden execution service: a long-running HTTP
+// server that runs benchmark simulations on a bounded worker pool with
+// admission control, deterministic result memoization, Prometheus
+// metrics and graceful drain.
+//
+//	oldend -addr :8080 -workers 4 -queue 64
+//
+// Endpoints:
+//
+//	POST /run         {"benchmark":"treeadd","procs":4,"scheme":"local"}
+//	GET  /benchmarks  machine-readable catalog (same bytes as oldenbench -list)
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness
+//	GET  /readyz      readiness (fails during drain)
+//
+// A full queue sheds load with 429 + Retry-After; SIGINT/SIGTERM begins
+// graceful drain: readiness fails, in-flight and queued runs complete,
+// then the process exits. Repeating a run configuration returns the
+// memoized RunRecord byte-identically — sound because the simulator is
+// deterministic (PR 3's digest goldens).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+
+	_ "repro/internal/bench/barneshut"
+	_ "repro/internal/bench/bisort"
+	_ "repro/internal/bench/em3d"
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/power"
+	_ "repro/internal/bench/treeadd"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "worker pool size (concurrent simulations)")
+	queue := flag.Int("queue", 64, "admission queue depth; beyond this requests shed with 429")
+	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries (negative disables memoization)")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight runs")
+	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if !*quiet {
+		cfg.AccessLog = server.NewAccessLogger(os.Stderr)
+	}
+	s := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "oldend: listening on %s (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queue, *cacheEntries)
+
+	select {
+	case err := <-errc:
+		fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain order: fail readiness + refuse new runs immediately, finish
+	// admitted work, then close the listener so in-flight responses
+	// flush before the process exits.
+	fmt.Fprintln(os.Stderr, "oldend: drain started (readiness now failing)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "oldend: drain incomplete: %v\n", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "oldend: http shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "oldend: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oldend: "+format+"\n", args...)
+	os.Exit(1)
+}

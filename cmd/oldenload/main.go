@@ -1,0 +1,433 @@
+// Command oldenload drives traffic at a running oldend and grades the
+// result: throughput, error rate, shed rate and latency percentiles,
+// with an SLO gate that fails the process on breach — the repo's
+// real-traffic benchmark alongside the simulated-cycle one.
+//
+// Closed loop (fixed concurrency, each worker fires as fast as the
+// server answers):
+//
+//	oldenload -c 8 -duration 10s
+//
+// Open loop (fixed arrival rate, regardless of server speed — the shape
+// that exercises admission control and shedding):
+//
+//	oldenload -rps 200 -duration 10s
+//
+// The request mix is bench:procs:scale triples; unset fields take the
+// shared catalog defaults, and names are validated against the same
+// enumeration oldend serves at GET /benchmarks:
+//
+//	oldenload -mix "treeadd:4:64,em3d:2:64" -scheme global -no-cache
+//
+// Exit status: 0 when every SLO holds and no request got a 5xx; 1 on any
+// breach; 2 on usage errors. 429 shedding is the admission-control
+// contract working, not an error — it is reported separately and only
+// -max-shed-rate gates it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/bench/barneshut"
+	_ "repro/internal/bench/bisort"
+	_ "repro/internal/bench/em3d"
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/power"
+	_ "repro/internal/bench/treeadd"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+// sample is one completed request observation.
+type sample struct {
+	status  int // 0 = transport error
+	cache   string
+	latency time.Duration
+}
+
+// Report is the machine-readable load-test result (-out writes it).
+type Report struct {
+	Mode        string           `json:"mode"` // closed | open
+	URL         string           `json:"url"`
+	DurationSec float64          `json:"duration_sec"`
+	Mix         []string         `json:"mix"`
+	Requests    int64            `json:"requests"`
+	ByStatus    map[string]int64 `json:"by_status"`
+	Transport   int64            `json:"transport_errors"`
+	ClientDrops int64            `json:"client_drops,omitempty"` // open loop: inflight cap hit
+	Succeeded   int64            `json:"succeeded"`
+	Shed        int64            `json:"shed_429"`
+	Failed5xx   int64            `json:"failed_5xx"`
+	CacheHits   int64            `json:"cache_hits"`
+	Throughput  float64          `json:"throughput_rps"` // successful responses per second
+	Latency     LatencyMS        `json:"latency_ms"`     // over successful responses
+	Breaches    []string         `json:"slo_breaches,omitempty"`
+}
+
+// LatencyMS summarizes successful-response latency in milliseconds.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "oldend base URL")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := flag.Int("c", 4, "closed-loop worker count (ignored when -rps > 0)")
+	rps := flag.Float64("rps", 0, "open-loop target arrival rate; 0 selects the closed loop")
+	maxInflight := flag.Int("max-inflight", 512, "open loop: cap on in-flight requests (beyond it arrivals drop client-side)")
+	mixSpec := flag.String("mix", "", "comma-separated bench[:procs[:scale]] request mix (default: first four catalog benchmarks at scale 64)")
+	scheme := flag.String("scheme", "local", "coherence scheme for every request")
+	mode := flag.String("mode", "heuristic", "mechanism mode for every request")
+	noCache := flag.Bool("no-cache", false, "bypass the server's result cache (every request simulates)")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-request server deadline (0 = server default)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "HTTP client timeout")
+	sloP50 := flag.Float64("slo-p50", 0, "fail if p50 latency exceeds this many ms (0 = off)")
+	sloP95 := flag.Float64("slo-p95", 0, "fail if p95 latency exceeds this many ms (0 = off)")
+	sloP99 := flag.Float64("slo-p99", 0, "fail if p99 latency exceeds this many ms (0 = off)")
+	sloErrRate := flag.Float64("slo-error-rate", 0, "max tolerated (5xx + transport error) fraction")
+	maxShedRate := flag.Float64("max-shed-rate", 1, "max tolerated 429 fraction (1 = shedding never fails the gate)")
+	minRequests := flag.Int64("min-requests", 1, "fail if fewer requests completed (guards against a dead server passing)")
+	out := flag.String("out", "", "write the JSON report to this file")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec, *scheme, *mode, *noCache, *deadlineMS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oldenload: %v\n", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		drops   atomic.Int64
+		next    atomic.Int64
+	)
+	recordSample := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+	fire := func() {
+		body := mix[int(next.Add(1)-1)%len(mix)]
+		start := time.Now()
+		resp, err := client.Post(*url+"/run", "application/json", bytes.NewReader(body))
+		lat := time.Since(start)
+		if err != nil {
+			recordSample(sample{status: 0, latency: lat})
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		recordSample(sample{status: resp.StatusCode, cache: resp.Header.Get("X-Oldend-Cache"), latency: lat})
+	}
+
+	loopMode := "closed"
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	if *rps > 0 {
+		loopMode = "open"
+		interval := time.Duration(float64(time.Second) / *rps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		sem := make(chan struct{}, *maxInflight)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for time.Now().Before(stop) {
+			<-ticker.C
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					fire()
+				}()
+			default:
+				drops.Add(1) // arrival beyond the in-flight cap: client-side drop
+			}
+		}
+	} else {
+		if *concurrency < 1 {
+			fmt.Fprintln(os.Stderr, "oldenload: -c must be >= 1")
+			os.Exit(2)
+		}
+		for i := 0; i < *concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					fire()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	rep := summarize(samples, loopMode, *url, *duration, mixNames(mix), drops.Load())
+	gate(&rep, *sloP50, *sloP95, *sloP99, *sloErrRate, *maxShedRate, *minRequests)
+
+	fmt.Print(formatReport(rep))
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oldenload: write report: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(rep.Breaches) > 0 {
+		fmt.Fprintf(os.Stderr, "oldenload: SLO BREACH: %s\n", strings.Join(rep.Breaches, "; "))
+		os.Exit(1)
+	}
+}
+
+// parseMix compiles the mix spec into ready-to-send request bodies,
+// validating every field against the shared catalog so this binary can
+// never ask for a configuration oldend does not advertise.
+func parseMix(spec, scheme, mode string, noCache bool, deadlineMS int64) ([][]byte, error) {
+	catalog := bench.Catalog()
+	byName := map[string]bench.CatalogEntry{}
+	for _, e := range catalog {
+		byName[e.Name] = e
+	}
+	if spec == "" {
+		var parts []string
+		for _, e := range catalog {
+			parts = append(parts, fmt.Sprintf("%s:%d:64", e.Name, e.DefaultProcs))
+			if len(parts) == 4 {
+				break
+			}
+		}
+		spec = strings.Join(parts, ",")
+	}
+	var mix [][]byte
+	for _, item := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(item), ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("bad mix entry %q (want bench[:procs[:scale]])", item)
+		}
+		e, ok := byName[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q in mix (oldenbench -list enumerates them)", fields[0])
+		}
+		procs, scale := e.DefaultProcs, e.DefaultScale
+		var err error
+		if len(fields) > 1 {
+			if procs, err = strconv.Atoi(fields[1]); err != nil || procs < 1 || procs > e.MaxProcs {
+				return nil, fmt.Errorf("bad procs in mix entry %q", item)
+			}
+		}
+		if len(fields) > 2 {
+			if scale, err = strconv.Atoi(fields[2]); err != nil || scale < 1 {
+				return nil, fmt.Errorf("bad scale in mix entry %q", item)
+			}
+		}
+		schemeOK, modeOK := false, false
+		for _, s := range e.Schemes {
+			schemeOK = schemeOK || s == scheme
+		}
+		for _, m := range e.Modes {
+			modeOK = modeOK || m == mode
+		}
+		if !schemeOK {
+			return nil, fmt.Errorf("scheme %q not in catalog (%s)", scheme, strings.Join(e.Schemes, ", "))
+		}
+		if !modeOK {
+			return nil, fmt.Errorf("mode %q not in catalog (%s)", mode, strings.Join(e.Modes, ", "))
+		}
+		body, err := json.Marshal(map[string]any{
+			"benchmark":   e.Name,
+			"procs":       procs,
+			"scale":       scale,
+			"scheme":      scheme,
+			"mode":        mode,
+			"no_cache":    noCache,
+			"deadline_ms": deadlineMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, body)
+	}
+	return mix, nil
+}
+
+func mixNames(mix [][]byte) []string {
+	var names []string
+	for _, b := range mix {
+		var m struct {
+			Benchmark string `json:"benchmark"`
+			Procs     int    `json:"procs"`
+			Scale     int    `json:"scale"`
+		}
+		_ = json.Unmarshal(b, &m)
+		names = append(names, fmt.Sprintf("%s:%d:%d", m.Benchmark, m.Procs, m.Scale))
+	}
+	return names
+}
+
+func summarize(samples []sample, mode, url string, dur time.Duration, mix []string, drops int64) Report {
+	rep := Report{
+		Mode:        mode,
+		URL:         url,
+		DurationSec: dur.Seconds(),
+		Mix:         mix,
+		ByStatus:    map[string]int64{},
+		ClientDrops: drops,
+	}
+	var okLats []time.Duration
+	for _, s := range samples {
+		rep.Requests++
+		if s.status == 0 {
+			rep.Transport++
+			continue
+		}
+		rep.ByStatus[strconv.Itoa(s.status)]++
+		switch {
+		case s.status == http.StatusOK:
+			rep.Succeeded++
+			okLats = append(okLats, s.latency)
+			if s.cache == "hit" {
+				rep.CacheHits++
+			}
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case s.status >= 500:
+			// Strict by design: drain refusals (503) and expired
+			// deadlines (504) count too, so a gated load run must
+			// target a ready server and use sane deadlines.
+			rep.Failed5xx++
+		}
+	}
+	if dur > 0 {
+		rep.Throughput = float64(rep.Succeeded) / dur.Seconds()
+	}
+	if len(okLats) > 0 {
+		sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+		var sum time.Duration
+		for _, l := range okLats {
+			sum += l
+		}
+		rep.Latency = LatencyMS{
+			P50:  ms(percentile(okLats, 50)),
+			P95:  ms(percentile(okLats, 95)),
+			P99:  ms(percentile(okLats, 99)),
+			Mean: ms(sum / time.Duration(len(okLats))),
+			Max:  ms(okLats[len(okLats)-1]),
+		}
+	}
+	return rep
+}
+
+// percentile returns the q-th percentile of sorted latencies by the
+// nearest-rank method.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// gate appends one breach string per violated SLO. A 5xx is always a
+// breach: the admission-control contract says overload answers 429,
+// never a server error.
+func gate(rep *Report, p50, p95, p99, errRate, shedRate float64, minRequests int64) {
+	if rep.Requests < minRequests {
+		rep.Breaches = append(rep.Breaches,
+			fmt.Sprintf("completed %d requests, need >= %d", rep.Requests, minRequests))
+	}
+	if rep.Failed5xx > 0 {
+		rep.Breaches = append(rep.Breaches, fmt.Sprintf("%d responses were 5xx", rep.Failed5xx))
+	}
+	if rep.Requests > 0 {
+		er := float64(rep.Failed5xx+rep.Transport) / float64(rep.Requests)
+		if er > errRate {
+			rep.Breaches = append(rep.Breaches,
+				fmt.Sprintf("error rate %.4f > %.4f", er, errRate))
+		}
+		sr := float64(rep.Shed) / float64(rep.Requests)
+		if sr > shedRate {
+			rep.Breaches = append(rep.Breaches,
+				fmt.Sprintf("shed rate %.4f > %.4f", sr, shedRate))
+		}
+	}
+	check := func(name string, got, slo float64) {
+		if slo > 0 && got > slo {
+			rep.Breaches = append(rep.Breaches, fmt.Sprintf("%s %.1fms > %.1fms", name, got, slo))
+		}
+	}
+	check("p50", rep.Latency.P50, p50)
+	check("p95", rep.Latency.P95, p95)
+	check("p99", rep.Latency.P99, p99)
+}
+
+func formatReport(r Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "oldenload: %s loop against %s for %.1fs\n", r.Mode, r.URL, r.DurationSec)
+	fmt.Fprintf(&sb, "mix: %s\n", strings.Join(r.Mix, ", "))
+	fmt.Fprintf(&sb, "requests: %d  ok: %d  shed(429): %d  5xx: %d  transport: %d",
+		r.Requests, r.Succeeded, r.Shed, r.Failed5xx, r.Transport)
+	if r.ClientDrops > 0 {
+		fmt.Fprintf(&sb, "  client-drops: %d", r.ClientDrops)
+	}
+	sb.WriteByte('\n')
+	var codes []string
+	for c := range r.ByStatus {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&sb, "  status %s: %d\n", c, r.ByStatus[c])
+	}
+	fmt.Fprintf(&sb, "cache hits: %d (%.1f%% of ok)\n", r.CacheHits, pct(r.CacheHits, r.Succeeded))
+	fmt.Fprintf(&sb, "throughput: %.1f ok/s\n", r.Throughput)
+	fmt.Fprintf(&sb, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean, r.Latency.Max)
+	if len(r.Breaches) == 0 {
+		sb.WriteString("SLO: ok\n")
+	} else {
+		fmt.Fprintf(&sb, "SLO: BREACHED — %s\n", strings.Join(r.Breaches, "; "))
+	}
+	return sb.String()
+}
+
+func pct(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

@@ -63,16 +63,9 @@ func main() {
 	default:
 		fatalf("unknown -mode %q", *mode)
 	}
-	var k coherence.Kind
-	switch *scheme {
-	case "local":
-		k = coherence.LocalKnowledge
-	case "global":
-		k = coherence.GlobalKnowledge
-	case "bilateral":
-		k = coherence.Bilateral
-	default:
-		fatalf("unknown -scheme %q", *scheme)
+	k, err := coherence.Parse(*scheme)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	base := info.Run(bench.Config{Baseline: true, Scale: *scale})

@@ -62,6 +62,21 @@ func (k Kind) String() string {
 // (Appendix A: 7 instructions for non-shared pages, 23 for shared).
 func (k Kind) TracksWrites() bool { return k != LocalKnowledge }
 
+// Kinds lists every scheme in definition order — the enumeration the CLIs
+// and the serving layer share so flag parsing can never drift from the
+// simulator.
+func Kinds() []Kind { return []Kind{LocalKnowledge, GlobalKnowledge, Bilateral} }
+
+// Parse maps a scheme name (as printed by Kind.String) back to its Kind.
+func Parse(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("coherence: unknown scheme %q (want local, global or bilateral)", s)
+}
+
 // pageDir is the home-side state for one page.
 type pageDir struct {
 	sharers    uint64                     // processors caching the page (global)

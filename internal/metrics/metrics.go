@@ -197,10 +197,26 @@ type entry struct {
 type Registry struct {
 	mu    sync.Mutex
 	index map[string]*entry
+	help  map[string]string // metric name -> HELP text
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{index: map[string]*entry{}} }
+
+// SetHelp records the HELP text for a metric name (all label variants
+// share it). Exporters escape it per their format. No-op on a nil
+// registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.help == nil {
+		r.help = map[string]string{}
+	}
+	r.help[name] = help
+	r.mu.Unlock()
+}
 
 // labelID renders labels canonically: sorted by key, {k="v",...}.
 func labelID(labels []Label) string {

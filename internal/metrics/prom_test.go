@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promLine is one parsed exposition sample: metric name, label map, value.
+type promLine struct {
+	name   string
+	labels map[string]string
+	value  int64
+}
+
+// parseProm is a strict reader of the subset of the text exposition format
+// the exporter emits. It understands exactly the three legal label-value
+// escapes (\\, \", \n) and rejects anything else, so a test failure here
+// means the exporter wrote something a Prometheus scraper would misread.
+func parseProm(t *testing.T, text string) (lines []promLine, help map[string]string) {
+	t.Helper()
+	help = map[string]string{}
+	for _, raw := range strings.Split(text, "\n") {
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "# HELP ") {
+			rest := strings.TrimPrefix(raw, "# HELP ")
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("malformed HELP line %q", raw)
+			}
+			help[name] = unescapeHelp(t, h)
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			continue
+		}
+		lines = append(lines, parsePromSample(t, raw))
+	}
+	return lines, help
+}
+
+func unescapeHelp(t *testing.T, s string) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			t.Fatalf("dangling backslash in help %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			t.Fatalf("illegal help escape \\%c in %q", s[i], s)
+		}
+	}
+	return sb.String()
+}
+
+func parsePromSample(t *testing.T, raw string) promLine {
+	t.Helper()
+	line := promLine{labels: map[string]string{}}
+	rest := raw
+	if i := strings.IndexAny(raw, "{ "); i < 0 {
+		t.Fatalf("malformed sample line %q", raw)
+	} else {
+		line.name = raw[:i]
+		rest = raw[i:]
+	}
+	if rest[0] == '{' {
+		i := 1
+		for rest[i] != '}' {
+			j := strings.IndexByte(rest[i:], '=')
+			if j < 0 {
+				t.Fatalf("malformed labels in %q", raw)
+			}
+			key := rest[i : i+j]
+			i += j + 1
+			if rest[i] != '"' {
+				t.Fatalf("unquoted label value in %q", raw)
+			}
+			i++
+			var val strings.Builder
+			for rest[i] != '"' {
+				c := rest[i]
+				if c == '\n' {
+					t.Fatalf("raw newline inside label value in %q", raw)
+				}
+				if c == '\\' {
+					i++
+					switch rest[i] {
+					case '\\':
+						c = '\\'
+					case '"':
+						c = '"'
+					case 'n':
+						c = '\n'
+					default:
+						t.Fatalf("illegal label escape \\%c in %q", rest[i], raw)
+					}
+				}
+				val.WriteByte(c)
+				i++
+			}
+			i++ // closing quote
+			line.labels[key] = val.String()
+			if rest[i] == ',' {
+				i++
+			}
+		}
+		rest = rest[i+1:]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", raw, err)
+	}
+	line.value = v
+	return line
+}
+
+// hostileValues are label values that break naive quoting: every escapable
+// byte, Go-style escapes that are NOT legal exposition escapes (tab), and
+// exposition syntax characters that need no escaping at all.
+var hostileValues = []string{
+	`back\slash`,
+	`quo"te`,
+	"new\nline",
+	"tab\there",
+	`all three \ " ` + "\n" + ` at once`,
+	`{curly},comma=equals`,
+	"unicode-é世界",
+	``,
+}
+
+// TestPrometheusLabelEscapingRoundTrip feeds hostile label values through
+// the exporter and reads them back with a strict exposition parser: every
+// value must survive byte-for-byte, and no line may use an escape the
+// format does not define.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	want := map[string]int64{}
+	for i, v := range hostileValues {
+		r.Counter("hostile_total", L("v", v)).Add(int64(i + 1))
+		want[v] = int64(i + 1)
+	}
+	lines, _ := parseProm(t, r.Snapshot().Prometheus())
+	got := map[string]int64{}
+	for _, l := range lines {
+		if l.name != "hostile_total" {
+			t.Fatalf("unexpected metric %q", l.name)
+		}
+		got[l.labels["v"]] = l.value
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip collapsed values: got %d distinct, want %d", len(got), len(want))
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Errorf("value %q: got %d, want %d (escaping corrupted the label)", v, got[v], n)
+		}
+	}
+}
+
+// TestPrometheusHistogramLabelEscaping checks the escaping also holds on
+// the derived _bucket/_sum/_count series where the le label is appended.
+func TestPrometheusHistogramLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := `h"i\` + "\n"
+	r.Histogram("lat_cycles", L("site", hostile)).Observe(5)
+	lines, _ := parseProm(t, r.Snapshot().Prometheus())
+	var sawBucket, sawSum bool
+	for _, l := range lines {
+		switch l.name {
+		case "lat_cycles_bucket":
+			sawBucket = true
+			if l.labels["site"] != hostile {
+				t.Errorf("bucket site label corrupted: %q", l.labels["site"])
+			}
+			if _, ok := l.labels["le"]; !ok {
+				t.Error("bucket line missing le label")
+			}
+		case "lat_cycles_sum":
+			sawSum = true
+			if l.labels["site"] != hostile {
+				t.Errorf("sum site label corrupted: %q", l.labels["site"])
+			}
+		}
+	}
+	if !sawBucket || !sawSum {
+		t.Fatalf("missing derived series (bucket=%v sum=%v)", sawBucket, sawSum)
+	}
+}
+
+// TestPrometheusHelpEscaping pins HELP emission: registered help appears
+// once per metric name, with backslashes and newlines escaped and quotes
+// left alone.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostileHelp := `serves "quoted" text, a back\slash` + "\nand a second line"
+	r.SetHelp("runs_total", hostileHelp)
+	r.Counter("runs_total", L("bench", "treeadd")).Inc()
+	r.Counter("runs_total", L("bench", "em3d")).Inc()
+	text := r.Snapshot().Prometheus()
+	if n := strings.Count(text, "# HELP runs_total "); n != 1 {
+		t.Fatalf("HELP emitted %d times, want once:\n%s", n, text)
+	}
+	_, help := parseProm(t, text)
+	if help["runs_total"] != hostileHelp {
+		t.Errorf("help round trip: got %q, want %q", help["runs_total"], hostileHelp)
+	}
+	if i := strings.Index(text, "# HELP runs_total"); i > strings.Index(text, "# TYPE runs_total") {
+		t.Error("HELP must precede TYPE")
+	}
+}
+
+// TestContentType pins the exposition MIME type HTTP handlers must serve.
+func TestContentType(t *testing.T) {
+	if ContentType != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("ContentType = %q", ContentType)
+	}
+}
+
+// TestPrometheusCleanValuesUnchanged guards the common case: metrics with
+// benign labels render in the exact bytes pre-escaping code produced.
+func TestPrometheusCleanValuesUnchanged(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("olden_misses_total", L("scheme", "local")).Add(3)
+	text := r.Snapshot().Prometheus()
+	want := "# TYPE olden_misses_total counter\nolden_misses_total{scheme=\"local\"} 3\n"
+	if text != want {
+		t.Fatalf("clean rendering changed:\n got %q\nwant %q", text, want)
+	}
+}

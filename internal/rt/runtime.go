@@ -61,6 +61,20 @@ func (m Mode) String() string {
 	return "heuristic"
 }
 
+// Modes lists every mechanism-override mode in definition order — the
+// enumeration the CLIs and the serving layer share.
+func Modes() []Mode { return []Mode{Heuristic, MigrateOnly, CacheOnly} }
+
+// ParseMode maps a mode name (as printed by Mode.String) back to its Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes() {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("rt: unknown mode %q (want heuristic, migrate-only or cache-only)", s)
+}
+
 // Site is one pointer-dereference site in the "compiled" program, tagged
 // with the mechanism the compile-time heuristic selected for it. Sites
 // accumulate per-site statistics, the view a profiler of the real system

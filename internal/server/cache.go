@@ -1,0 +1,85 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/bench/record"
+)
+
+// cacheEntry is one memoized run result: the canonical response bytes, the
+// decoded record, and the trace digest the determinism argument rests on.
+type cacheEntry struct {
+	key    string
+	body   []byte
+	digest string
+	rec    record.RunRecord
+}
+
+// resultCache is a strict-LRU memo of run results keyed by the canonical
+// run configuration. Eviction order is purely access order and capacity is
+// an entry count, so the cache's behavior is a deterministic function of
+// the request sequence — no clocks, no sizes, no randomness. Soundness of
+// serving from it at all comes from the simulator's determinism: a run's
+// RunRecord (cycles, stats, metrics, trace digest) is a pure function of
+// its configuration, so the memoized bytes are exactly what a re-run
+// would produce.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// newResultCache returns a cache holding up to capacity entries; zero or
+// negative capacity disables caching (every lookup misses, puts drop).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry under key, promoting it to most recently used.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts or refreshes the entry under its key, evicting the least
+// recently used entry when over capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.items, old.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+)
+
+// AccessLogger serializes structured JSON access-log lines onto a writer.
+type AccessLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewAccessLogger logs one JSON object per request to w.
+func NewAccessLogger(w io.Writer) *AccessLogger {
+	return &AccessLogger{enc: json.NewEncoder(w)}
+}
+
+// logExtra carries the run-specific fields the /run handler and workers
+// contribute to the request's access-log line.
+type logExtra struct {
+	Benchmark   string `json:"benchmark,omitempty"`
+	Key         string `json:"key,omitempty"`
+	Cache       string `json:"cache,omitempty"`
+	QueueWaitUS int64  `json:"queue_wait_us,omitempty"`
+	RunUS       int64  `json:"run_us,omitempty"`
+}
+
+// accessLine is one structured access-log record.
+type accessLine struct {
+	Time     string `json:"time"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	Bytes    int64  `json:"bytes"`
+	DurUS    int64  `json:"dur_us"`
+	Remote   string `json:"remote,omitempty"`
+	logExtra        // flattened run fields
+}
+
+func (l *AccessLogger) emit(line accessLine) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(line) // an unloggable request must not fail the request
+}
+
+// statusWriter captures the status code and byte count a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+type extraKey struct{}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run         execute (or memo-serve) one benchmark run
+//	GET  /benchmarks  the shared machine-readable catalog
+//	GET  /metrics     Prometheus exposition of the server registry
+//	GET  /healthz     liveness (200 while the process serves)
+//	GET  /readyz      readiness (503 once drain begins)
+//
+// Every request is access-logged (when a logger is configured) and
+// counted in oldend_requests_total by endpoint and status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with access logging and request accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		extra := &logExtra{}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), extraKey{}, extra)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.cfg.Metrics.Counter("oldend_requests_total",
+			metrics.L("path", r.URL.Path),
+			metrics.L("code", strconv.Itoa(sw.status))).Inc()
+		s.cfg.AccessLog.emit(accessLine{
+			Time:     start.UTC().Format(time.RFC3339Nano),
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Status:   sw.status,
+			Bytes:    sw.bytes,
+			DurUS:    s.cfg.Now().Sub(start).Microseconds(),
+			Remote:   r.RemoteAddr,
+			logExtra: *extra,
+		})
+	})
+}
+
+// handleRun admits, waits and responds for one run request. Phases:
+// parse → cache probe → admission → queue wait → execution, with the
+// request deadline checked at every boundary.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	req, err := normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := req.Key()
+	extra, _ := r.Context().Value(extraKey{}).(*logExtra)
+	if extra == nil {
+		extra = &logExtra{}
+	}
+	extra.Benchmark = req.Benchmark
+	extra.Key = key
+
+	// Phase: cache probe. A hit returns the memoized bytes — verifiably
+	// identical to a fresh run by determinism — unless the request asked
+	// to bypass or cross-check.
+	if !req.NoCache && !req.Verify {
+		if e, ok := s.cache.get(key); ok {
+			s.cacheHits.Inc()
+			extra.Cache = "hit"
+			w.Header().Set("X-Oldend-Cache", "hit")
+			w.Header().Set("X-Oldend-Trace-Digest", e.digest)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(e.body)
+			return
+		}
+		s.cacheMisses.Inc()
+	}
+	cacheState := "miss"
+	if req.NoCache {
+		cacheState = "bypass"
+	} else if req.Verify {
+		cacheState = "verify"
+	}
+	extra.Cache = cacheState
+
+	// Phase: admission. Deadline starts covering queue wait + run.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	j := &job{
+		req:      req,
+		key:      key,
+		cache:    cacheState,
+		ctx:      ctx,
+		enqueued: s.cfg.Now(),
+		done:     make(chan result, 1),
+	}
+	switch s.admit(j) {
+	case admitShed:
+		s.shed.Inc()
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests,
+			"admission queue full; retry after backoff")
+		return
+	case admitDraining:
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	// Phase: wait for a worker. If the deadline fires first the handler
+	// answers 504 and the worker discards the stale job when it surfaces.
+	var res result
+	select {
+	case res = <-j.done:
+	case <-ctx.Done():
+		select {
+		case res = <-j.done: // result arrived in the same instant; serve it
+		default:
+			extra.QueueWaitUS = s.cfg.Now().Sub(j.enqueued).Microseconds()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
+			return
+		}
+	}
+	extra.Cache = res.cache
+	extra.QueueWaitUS = res.queueWaitUS
+	extra.RunUS = res.runUS
+	if res.status != http.StatusOK {
+		writeError(w, res.status, res.errMsg)
+		return
+	}
+	w.Header().Set("X-Oldend-Cache", res.cache)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.body)
+}
+
+// handleBenchmarks serves the shared catalog — the same bytes
+// `oldenbench -list` prints, so clients and CLIs cannot drift.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	b, err := bench.CatalogJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format with the exporter's Content-Type.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	io.WriteString(w, s.cfg.Metrics.Snapshot().Prometheus())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,419 @@
+// Package server is oldend's serving layer: a long-running HTTP service
+// that executes Olden benchmark runs on a bounded worker pool with
+// admission control, per-request deadlines, deterministic result
+// memoization, Prometheus metrics and graceful drain.
+//
+// The production envelope mirrors the paper's own theme one level up the
+// stack: the simulator software-caches remote heap lines because remote
+// fetches are expensive; the server memoizes whole run results because
+// runs are expensive — and PR 3's determinism work (byte-stable trace
+// digests) is what makes that memoization *sound* rather than heuristic:
+// a RunRecord is a pure function of its run configuration, so cached
+// bytes are exactly what a re-run would produce, and any divergence is a
+// determinism bug worth failing loudly over.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bench/record"
+	"repro/internal/coherence"
+	"repro/internal/metrics"
+	"repro/internal/rt"
+)
+
+// RunRequest is the POST /run body: one benchmark run configuration.
+// Unset fields take the catalog defaults; the canonicalized configuration
+// is the result-cache key.
+type RunRequest struct {
+	Benchmark string `json:"benchmark"`
+	Baseline  bool   `json:"baseline,omitempty"`
+	Procs     int    `json:"procs,omitempty"`
+	Scale     int    `json:"scale,omitempty"`
+	Scheme    string `json:"scheme,omitempty"`
+	Mode      string `json:"mode,omitempty"`
+
+	// NoCache bypasses the result cache entirely: the run executes and
+	// its result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Verify forces execution even on a cache hit and cross-checks the
+	// fresh trace digest against the memoized one; a mismatch is a
+	// determinism violation and is served as a 500.
+	Verify bool `json:"verify,omitempty"`
+	// DeadlineMS caps this request's time in the service (queue wait +
+	// execution), bounded above by the server's MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Key is the canonical cache/identity key of the (already normalized)
+// configuration. It deliberately excludes NoCache/Verify/DeadlineMS:
+// those shape request handling, not the result.
+func (q RunRequest) Key() string {
+	return fmt.Sprintf("%s|baseline=%t|P=%d|scale=%d|scheme=%s|mode=%s",
+		q.Benchmark, q.Baseline, q.Procs, q.Scale, q.Scheme, q.Mode)
+}
+
+// ExecuteFunc runs one normalized request to completion and returns its
+// record. The default executes the registered benchmark; tests substitute
+// controllable fakes to exercise queueing without timing dependence.
+type ExecuteFunc func(req RunRequest) (record.RunRecord, error)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default chosen for a small local instance.
+type Config struct {
+	// Workers is the execution pool size — the maximum number of
+	// simulations in flight at once (default 4). Each job gets its own
+	// machine and runtime, so workers share nothing but the pool.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds load
+	// with 429 rather than queueing unboundedly (default 64).
+	QueueDepth int
+	// CacheEntries is the result-cache capacity in entries; 0 picks the
+	// default (256), negative disables memoization.
+	CacheEntries int
+	// DefaultDeadline applies when a request names none (default 60s);
+	// MaxDeadline caps what a request may ask for (default 5m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the backoff hint attached to 429/503 responses
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Metrics receives server-level counters and histograms; a fresh
+	// registry is created when nil.
+	Metrics *metrics.Registry
+	// AccessLog, when non-nil, receives one JSON object per request.
+	AccessLog *AccessLogger
+	// Execute substitutes the run executor (tests); nil means the real
+	// benchmark executor.
+	Execute ExecuteFunc
+	// Now substitutes the wall clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Execute == nil {
+		c.Execute = defaultExecute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// result is what a worker (or the admission path) delivers for one job.
+// Phase timings ride along so the handler can log them without sharing
+// mutable state with the worker.
+type result struct {
+	status      int
+	body        []byte
+	errMsg      string
+	cache       string // hit | miss | bypass | verify
+	queueWaitUS int64
+	runUS       int64
+}
+
+// job is one admitted run request waiting for a worker.
+type job struct {
+	req      RunRequest
+	key      string
+	cache    string // cache disposition decided at admission
+	ctx      context.Context
+	enqueued time.Time
+	done     chan result // buffered(1): workers never block on delivery
+}
+
+// Server is the oldend service core. Create with New, mount Handler, and
+// call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	queue    chan *job
+	wg       sync.WaitGroup
+	admitMu  sync.RWMutex // write-held only by Shutdown, closing queue
+	draining atomic.Bool
+
+	// server-level metrics (all wall-clock observations in microseconds)
+	shed        *metrics.Counter
+	expired     *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	verifyOK    *metrics.Counter
+	verifyBad   *metrics.Counter
+	inflight    *metrics.Gauge
+	queueWait   *metrics.Histogram
+	runLatency  *metrics.Histogram
+	simCycles   *metrics.Counter
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	m := cfg.Metrics
+	m.SetHelp("oldend_requests_total", "Requests served, by endpoint and status code.")
+	m.SetHelp("oldend_shed_total", "Run requests rejected with 429 because the admission queue was full.")
+	m.SetHelp("oldend_deadline_expired_total", "Admitted jobs whose deadline expired before a worker picked them up.")
+	m.SetHelp("oldend_cache_hits_total", "Run requests served from the deterministic result cache.")
+	m.SetHelp("oldend_cache_misses_total", "Run requests that executed because no memoized result existed.")
+	m.SetHelp("oldend_cache_verify_total", "Cache-verification re-runs, by outcome (determinism cross-checks).")
+	m.SetHelp("oldend_queue_depth", "Jobs waiting in the admission queue right now.")
+	m.SetHelp("oldend_cache_entries", "Entries resident in the result cache right now.")
+	m.SetHelp("oldend_inflight_runs", "Simulations executing on the worker pool right now.")
+	m.SetHelp("oldend_queue_wait_us", "Wall-clock time admitted jobs spent queued, in microseconds.")
+	m.SetHelp("oldend_run_us", "Wall-clock execution time of one simulation run, in microseconds.")
+	m.SetHelp("oldend_runs_total", "Completed simulation runs, by benchmark.")
+	m.SetHelp("oldend_sim_cycles_total", "Simulated cycles executed across all completed runs.")
+	s.shed = m.Counter("oldend_shed_total")
+	s.expired = m.Counter("oldend_deadline_expired_total")
+	s.cacheHits = m.Counter("oldend_cache_hits_total")
+	s.cacheMisses = m.Counter("oldend_cache_misses_total")
+	s.verifyOK = m.Counter("oldend_cache_verify_total", metrics.L("outcome", "match"))
+	s.verifyBad = m.Counter("oldend_cache_verify_total", metrics.L("outcome", "mismatch"))
+	s.inflight = m.Gauge("oldend_inflight_runs")
+	s.queueWait = m.Histogram("oldend_queue_wait_us")
+	s.runLatency = m.Histogram("oldend_run_us")
+	s.simCycles = m.Counter("oldend_sim_cycles_total")
+	m.RegisterFunc("oldend_queue_depth", metrics.KindGauge, func() int64 { return int64(len(s.queue)) })
+	m.RegisterFunc("oldend_cache_entries", metrics.KindGauge, func() int64 { return int64(s.cache.len()) })
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's registry (shared with Config.Metrics).
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown begins graceful drain: readiness fails and new runs are
+// refused immediately, admitted jobs run to completion, and Shutdown
+// returns when the pool is idle or ctx expires. Safe to call twice.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admission outcomes.
+const (
+	admitOK = iota
+	admitShed
+	admitDraining
+)
+
+// admit offers the job to the bounded queue without blocking. The read
+// lock excludes Shutdown's queue close, so a send can never race it.
+func (s *Server) admit(j *job) int {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return admitDraining
+	}
+	select {
+	case s.queue <- j:
+		return admitOK
+	default:
+		return admitShed
+	}
+}
+
+// worker executes admitted jobs until drain closes the queue. Deadlines
+// are honored at phase boundaries: a job whose context expired while
+// queued is skipped (freeing the slot for live work), and one whose
+// context expired during execution has its result discarded by the
+// waiting handler — the simulation itself always runs to completion, the
+// same way a migration in the paper's runtime is not preemptible
+// mid-message.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		wait := s.cfg.Now().Sub(j.enqueued).Microseconds()
+		s.queueWait.Observe(wait)
+		if j.ctx.Err() != nil {
+			s.expired.Inc()
+			j.done <- result{status: http.StatusGatewayTimeout, errMsg: "deadline expired while queued", cache: j.cache, queueWaitUS: wait}
+			continue
+		}
+		s.inflight.Add(1)
+		start := s.cfg.Now()
+		rec, err := s.cfg.Execute(j.req)
+		s.inflight.Add(-1)
+		runUS := s.cfg.Now().Sub(start).Microseconds()
+		s.runLatency.Observe(runUS)
+		if err != nil {
+			j.done <- result{status: http.StatusInternalServerError, errMsg: err.Error(), cache: j.cache, queueWaitUS: wait, runUS: runUS}
+			continue
+		}
+		body, merr := marshalRecord(rec)
+		if merr != nil {
+			j.done <- result{status: http.StatusInternalServerError, errMsg: merr.Error(), cache: j.cache, queueWaitUS: wait, runUS: runUS}
+			continue
+		}
+		s.cfg.Metrics.Counter("oldend_runs_total", metrics.L("benchmark", j.req.Benchmark)).Inc()
+		s.simCycles.Add(rec.Cycles)
+		res := result{status: http.StatusOK, body: body, cache: j.cache, queueWaitUS: wait, runUS: runUS}
+		if j.req.Verify {
+			if hit, ok := s.cache.get(j.key); ok {
+				if hit.digest == rec.TraceDigest {
+					s.verifyOK.Inc()
+				} else {
+					s.verifyBad.Inc()
+					res = result{
+						status: http.StatusInternalServerError,
+						errMsg: fmt.Sprintf("determinism violation: cached digest %s, fresh digest %s", hit.digest, rec.TraceDigest),
+						cache:  "verify",
+					}
+				}
+			} else {
+				s.verifyOK.Inc()
+			}
+		}
+		if res.status == http.StatusOK && !j.req.NoCache {
+			s.cache.put(&cacheEntry{key: j.key, body: body, digest: rec.TraceDigest, rec: rec})
+		}
+		j.done <- res
+	}
+}
+
+// marshalRecord renders the canonical response body: indented RunRecord
+// JSON with a trailing newline, byte-stable for a given record (map keys
+// sort), so a cache hit is byte-identical to the run that populated it.
+func marshalRecord(rec record.RunRecord) ([]byte, error) {
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// normalize validates the request and fills catalog defaults, returning
+// the canonical configuration every downstream phase (cache key, executor,
+// log) agrees on.
+func normalize(q RunRequest) (RunRequest, error) {
+	if q.Benchmark == "" {
+		return q, fmt.Errorf("missing benchmark (GET /benchmarks lists them)")
+	}
+	if _, ok := bench.Get(q.Benchmark); !ok {
+		return q, fmt.Errorf("unknown benchmark %q (GET /benchmarks lists them)", q.Benchmark)
+	}
+	if q.Scale < 0 {
+		return q, fmt.Errorf("scale must be >= 0")
+	}
+	if q.Scale == 0 {
+		q.Scale = bench.DefaultScale
+	}
+	if q.Baseline {
+		q.Procs = 1
+	}
+	if q.Procs == 0 {
+		q.Procs = bench.CatalogDefaultProcs
+	}
+	if q.Procs < 1 || q.Procs > bench.CatalogMaxProcs {
+		return q, fmt.Errorf("procs %d out of range 1..%d", q.Procs, bench.CatalogMaxProcs)
+	}
+	if q.Scheme == "" {
+		q.Scheme = coherence.LocalKnowledge.String()
+	}
+	if _, err := coherence.Parse(q.Scheme); err != nil {
+		return q, err
+	}
+	if q.Mode == "" {
+		q.Mode = rt.Heuristic.String()
+	}
+	if _, err := rt.ParseMode(q.Mode); err != nil {
+		return q, err
+	}
+	if q.DeadlineMS < 0 {
+		return q, fmt.Errorf("deadline_ms must be >= 0")
+	}
+	return q, nil
+}
+
+// defaultExecute runs the benchmark for real: a fresh machine + runtime
+// per job (nothing shared with concurrent runs), the trace recorder and
+// metrics registry attached so the record carries the digest that makes
+// memoization verifiable. An unverified run — wrong answer versus the
+// sequential reference — is an executor error, never a cacheable result.
+func defaultExecute(req RunRequest) (record.RunRecord, error) {
+	info, ok := bench.Get(req.Benchmark)
+	if !ok {
+		return record.RunRecord{}, fmt.Errorf("unknown benchmark %q", req.Benchmark)
+	}
+	scheme, err := coherence.Parse(req.Scheme)
+	if err != nil {
+		return record.RunRecord{}, err
+	}
+	mode, err := rt.ParseMode(req.Mode)
+	if err != nil {
+		return record.RunRecord{}, err
+	}
+	res, rec := bench.RunRecorded(info, bench.Config{
+		Baseline: req.Baseline,
+		Procs:    req.Procs,
+		Scale:    req.Scale,
+		Scheme:   scheme,
+		Mode:     mode,
+	})
+	if !res.Verified() {
+		return rec, fmt.Errorf("%s run failed verification: %#x != %#x", req.Benchmark, res.Check, res.WantCheck)
+	}
+	return rec, nil
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -2,7 +2,7 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt test race fuzz oldenvet lint bench report perfgate serve load servesmoke
+.PHONY: check build vet fmt test race fuzz oldenvet lint analyze bench report perfgate serve load servesmoke
 
 # Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
 # real fuzzing session.
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/gaddr
 	$(GO) test -run '^$$' -fuzz '^FuzzLexAll$$' -fuzztime $(FUZZTIME) ./internal/lang
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/lang
+	$(GO) test -run '^$$' -fuzz '^FuzzEffects$$' -fuzztime $(FUZZTIME) ./internal/analysis/effects
 
 oldenvet:
 	$(GO) run ./cmd/oldenvet ./...
@@ -83,4 +84,18 @@ lint:
 	done
 	@for f in examples/minic/*.c; do \
 		$(GO) run ./cmd/oldenc -lint $$f || exit 1; \
+	done
+
+# Interprocedural effect/cost analysis over every kernel and example
+# source: per-function summaries, static step/alloc bounds, heuristic
+# diffs and the cacheability certificate. `-json` output of the same run
+# is what CI uploads as the analyze-findings artifact.
+analyze:
+	@for b in $(BENCHES); do \
+		echo "== $$b"; \
+		$(GO) run ./cmd/oldenc -analyze -bench $$b || exit 1; \
+	done
+	@for f in examples/minic/*.c; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/oldenc -analyze $$f || exit 1; \
 	done

@@ -8,6 +8,8 @@
 //	oldenc -threshold 80 prog.c
 //	oldenc -lint prog.c       # lint diagnostics (exit 1 on errors)
 //	oldenc -lint -json prog.c # diagnostics in the oldenvet -json shape
+//	oldenc -analyze prog.c    # effect summaries, cost bounds, certificate
+//	oldenc -analyze -json prog.c
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/effects"
 	"repro/internal/bench/barneshut"
 	"repro/internal/bench/bisort"
 	"repro/internal/bench/em3d"
@@ -45,16 +48,34 @@ var kernels = map[string]string{
 }
 
 func main() {
-	benchName := flag.String("bench", "", "analyze a benchmark kernel instead of a file")
-	threshold := flag.Int("threshold", 90, "migration threshold in percent")
-	defAff := flag.Int("affinity", 70, "default path-affinity in percent")
-	sites := flag.Bool("sites", false, "also list every dereference site with its mechanism")
-	interproc := flag.Bool("interprocedural", false, "enable the return-value path extension (the paper's future work)")
-	lint := flag.Bool("lint", false, "emit lint diagnostics instead of the analysis report (exit 1 on errors)")
-	jsonOut := flag.Bool("json", false, "with -lint, emit diagnostics as JSON (the oldenvet -json finding shape)")
-	flag.Parse()
-	if *jsonOut && !*lint {
-		fatalf("-json requires -lint")
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: it parses args, reads
+// the program, and writes the chosen report, returning the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oldenc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchName := fs.String("bench", "", "analyze a benchmark kernel instead of a file")
+	threshold := fs.Int("threshold", 90, "migration threshold in percent")
+	defAff := fs.Int("affinity", 70, "default path-affinity in percent")
+	sites := fs.Bool("sites", false, "also list every dereference site with its mechanism")
+	interproc := fs.Bool("interprocedural", false, "enable the return-value path extension (the paper's future work)")
+	lint := fs.Bool("lint", false, "emit lint diagnostics instead of the analysis report (exit 1 on errors)")
+	analyzeF := fs.Bool("analyze", false, "emit interprocedural effect summaries, cost bounds and the cacheability certificate")
+	jsonOut := fs.Bool("json", false, "with -lint or -analyze, emit findings as JSON (the oldenvet shape)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, fargs ...any) int {
+		fmt.Fprintf(stderr, "oldenc: "+format+"\n", fargs...)
+		return 1
+	}
+	if *jsonOut && !*lint && !*analyzeF {
+		return fail("-json requires -lint or -analyze")
+	}
+	if *lint && *analyzeF {
+		return fail("-lint and -analyze are mutually exclusive")
 	}
 
 	var src string
@@ -63,27 +84,27 @@ func main() {
 	case *benchName != "":
 		s, ok := kernels[*benchName]
 		if !ok {
-			fatalf("unknown benchmark %q", *benchName)
+			return fail("unknown benchmark %q", *benchName)
 		}
 		src = s
 		file = "bench:" + *benchName
-	case flag.NArg() == 1 && flag.Arg(0) == "-":
-		data, err := io.ReadAll(os.Stdin)
+	case fs.NArg() == 1 && fs.Arg(0) == "-":
+		data, err := io.ReadAll(stdin)
 		if err != nil {
-			fatalf("reading stdin: %v", err)
+			return fail("reading stdin: %v", err)
 		}
 		src = string(data)
 		file = "<stdin>"
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		src = string(data)
-		file = flag.Arg(0)
+		file = fs.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: oldenc [-threshold N] [-affinity N] <file.c | - | -bench name>")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: oldenc [-threshold N] [-affinity N] [-lint | -analyze] [-json] <file.c | - | -bench name>")
+		return 2
 	}
 
 	params := olden.Params{
@@ -91,53 +112,116 @@ func main() {
 		DefaultAffinity:        float64(*defAff) / 100,
 		InterproceduralReturns: *interproc,
 	}
+
+	if *analyzeF {
+		res, err := effects.AnalyzeSource(src, params)
+		if err != nil {
+			return fail("%v", err)
+		}
+		return writeAnalysis(stdout, stderr, res, file, *jsonOut)
+	}
+
 	report, err := olden.AnalyzeWith(src, params)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	if *lint {
-		diags := report.Lint()
-		if *jsonOut {
-			findings := make([]analysis.Finding, 0, len(diags))
-			for _, d := range diags {
-				findings = append(findings, analysis.Finding{
-					Check:   d.Code,
-					File:    file,
-					Line:    d.Pos.Line,
-					Col:     d.Pos.Col,
-					Message: d.Msg,
-				})
-			}
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(findings); err != nil {
-				fatalf("%v", err)
-			}
-		} else {
-			for _, d := range diags {
-				fmt.Println(d)
-			}
-		}
-		for _, d := range diags {
-			if d.Sev == olden.DiagError {
-				os.Exit(1)
-			}
-		}
-		return
+		return writeLint(stdout, stderr, report.Lint(), file, *jsonOut)
 	}
-	fmt.Print(report)
+	fmt.Fprint(stdout, report)
 	if *sites {
-		fmt.Println()
-		fmt.Print(report.SitesString())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.SitesString())
 	}
 	if report.UsesMigrationOnly() {
-		fmt.Println("overall: migration only (an \"M\" program)")
+		fmt.Fprintln(stdout, "overall: migration only (an \"M\" program)")
 	} else {
-		fmt.Println("overall: migration + caching (an \"M+C\" program)")
+		fmt.Fprintln(stdout, "overall: migration + caching (an \"M+C\" program)")
 	}
+	return 0
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "oldenc: "+format+"\n", args...)
-	os.Exit(1)
+// writeLint prints the diagnostics; exit 1 when any is an error.
+func writeLint(stdout, stderr io.Writer, diags []olden.Diag, file string, jsonOut bool) int {
+	if jsonOut {
+		findings := make([]analysis.Finding, 0, len(diags))
+		for _, d := range diags {
+			sev := "warning"
+			if d.Sev == olden.DiagError {
+				sev = "error"
+			}
+			findings = append(findings, analysis.Finding{
+				Check:    d.Code,
+				File:     file,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Message:  d.Msg,
+				Severity: sev,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "oldenc: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	for _, d := range diags {
+		if d.Sev == olden.DiagError {
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeAnalysis prints the effects analysis: per function the effect
+// summary and cost bounds, then the heuristic differential and the
+// cacheability certificate. With jsonOut it emits the findings slice in
+// the oldenvet shape instead.
+func writeAnalysis(stdout, stderr io.Writer, res *effects.Result, file string, jsonOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Findings(file)); err != nil {
+			fmt.Fprintf(stderr, "oldenc: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, s := range res.Summaries {
+		fmt.Fprintf(stdout, "func %s(%s):\n", s.Name, joinComma(s.Params))
+		fmt.Fprintf(stdout, "  effects: %s\n", s.EffectsLine())
+		fmt.Fprintf(stdout, "  bounds:  %s\n", s.BoundsLine())
+	}
+	for _, d := range res.Diffs {
+		fmt.Fprintf(stdout, "diff: %s:%d:%d: %s: loop %s: %s %s->%s (%s)\n",
+			file, d.Pos.Line, d.Pos.Col, d.Fn, d.Loop, d.Var, d.Old, d.New, d.Reason)
+	}
+	cert := res.Certificate()
+	if cert.Cacheable {
+		kind := "migrate-only"
+		if cert.CacheOnly {
+			kind = "cache-only"
+		}
+		fmt.Fprintf(stdout, "certificate: cacheable (%s) digest=%s\n", kind, cert.Digest)
+	} else {
+		fmt.Fprintf(stdout, "certificate: not cacheable: %s digest=%s\n",
+			joinComma(cert.Reasons), cert.Digest)
+	}
+	return 0
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
 }

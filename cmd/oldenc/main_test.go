@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var updateAnalyze = flag.Bool("update-analyze", false,
+	"rewrite testdata/analyze_*.golden from the current -analyze output")
+
+// runOldenc drives the command through its testable seam.
+func runOldenc(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestAnalyzeGoldens pins the -analyze report over the paper figures and
+// the hostile fixture. The output is part of the tool's contract — the
+// effect lines feed certificate digests — so changes must be reviewed and
+// regenerated deliberately:
+//
+//	go test ./cmd/oldenc -run TestAnalyzeGoldens -update-analyze
+func TestAnalyzeGoldens(t *testing.T) {
+	for _, name := range []string{"figure3", "figure4", "figure5", "hostile"} {
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join("..", "..", "examples", "minic", name+".c")
+			stdout, stderr, code := runOldenc(t, "", "-analyze", src)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr)
+			}
+			golden := filepath.Join("testdata", "analyze_"+name+".golden")
+			if *updateAnalyze {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-analyze)", err)
+			}
+			if stdout != string(want) {
+				t.Errorf("analyze output changed for %s:\ngot:\n%s\nwant:\n%s",
+					name, stdout, want)
+			}
+		})
+	}
+}
+
+// TestHostileFixtureRejected pins the acceptance contract on the hostile
+// fixture: unbounded loops surface as ⊤ bounds and the certificate is
+// refused with machine-readable reasons.
+func TestHostileFixtureRejected(t *testing.T) {
+	src := filepath.Join("..", "..", "examples", "minic", "hostile.c")
+	stdout, _, code := runOldenc(t, "", "-analyze", src)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"steps<=⊤",
+		"allocs<=⊤",
+		"certificate: not cacheable:",
+		"aliased-write:node.next via m",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestLintExitCodes pins the -lint exit contract: 0 for clean programs,
+// 0 when only warnings fire, 1 as soon as any error-severity diagnostic
+// does.
+func TestLintExitCodes(t *testing.T) {
+	const clean = `
+struct s { int v; struct s *n __affinity(90); };
+void f(struct s *p) {
+  while (p) {
+    p = p->n;
+  }
+}
+`
+	const warnOnly = `
+struct s { int v; struct s *n __affinity(90); };
+void f(struct s *p) { return; }
+`
+	const hasError = `
+struct s { int v; struct s *n __affinity(120); };
+void f(struct s *p) {
+  while (p) {
+    p = p->n;
+  }
+}
+`
+	cases := []struct {
+		name string
+		src  string
+		code int
+	}{
+		{"clean", clean, 0},
+		{"warnings-only", warnOnly, 0},
+		{"errors", hasError, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runOldenc(t, tc.src, "-lint", "-")
+			if code != tc.code {
+				t.Errorf("exit = %d, want %d\nstdout: %s\nstderr: %s",
+					code, tc.code, stdout, stderr)
+			}
+		})
+	}
+}
+
+// TestLintJSONSeverity checks that -lint -json carries the severity of
+// each diagnostic.
+func TestLintJSONSeverity(t *testing.T) {
+	const src = `
+struct s { int v; struct s *n __affinity(120); };
+void f(struct s *p) {
+  while (p) {
+    p = p->n;
+  }
+}
+`
+	stdout, stderr, code := runOldenc(t, src, "-lint", "-json", "-")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	sawError := false
+	for _, f := range findings {
+		if f.Severity != "warning" && f.Severity != "error" {
+			t.Errorf("finding %v has severity %q", f, f.Severity)
+		}
+		if f.Severity == "error" {
+			sawError = true
+		}
+	}
+	if !sawError {
+		t.Errorf("no error-severity finding in %s", stdout)
+	}
+}
+
+// TestAnalyzeJSONShape checks the -analyze -json findings: the oldenvet
+// shape, sorted by position, with the certificate refusal machine-
+// readable.
+func TestAnalyzeJSONShape(t *testing.T) {
+	src := filepath.Join("..", "..", "examples", "minic", "hostile.c")
+	stdout, stderr, code := runOldenc(t, "", "-analyze", "-json", src)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	checks := map[string]bool{}
+	for i, f := range findings {
+		checks[f.Check] = true
+		if f.File == "" || f.Line == 0 {
+			t.Errorf("finding %d lacks position: %+v", i, f)
+		}
+		if i > 0 {
+			a, b := findings[i-1], findings[i]
+			if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+				t.Errorf("findings out of order at %d: %+v then %+v", i, a, b)
+			}
+		}
+	}
+	for _, want := range []string{
+		"effects/summary", "effects/bound", "effects/diff", "effects/certificate",
+	} {
+		if !checks[want] {
+			t.Errorf("no %s finding in %s", want, stdout)
+		}
+	}
+	for _, f := range findings {
+		if f.Check == "effects/certificate" {
+			if !strings.Contains(f.Message, "not cacheable:") ||
+				!strings.Contains(f.Message, "mixed-mechanisms") {
+				t.Errorf("certificate finding not machine-readable: %q", f.Message)
+			}
+		}
+	}
+}
+
+// TestAnalyzeBenchKernels smoke-runs -analyze over every pinned kernel:
+// the analysis must terminate and produce a certificate line for each.
+func TestAnalyzeBenchKernels(t *testing.T) {
+	for name := range kernels {
+		stdout, stderr, code := runOldenc(t, "", "-analyze", "-bench", name)
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr: %s", name, code, stderr)
+			continue
+		}
+		if !strings.Contains(stdout, "certificate: ") {
+			t.Errorf("%s: no certificate in output:\n%s", name, stdout)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+/* Hostile fixture for `oldenc -analyze`: every function here defeats one
+ * leg of the effect/cost analysis, and the goldens pin how.
+ *
+ *   spin    — while(1): no trip bound, steps<=⊤.
+ *   rewire  — a migrating list walk whose iteration also stores through a
+ *             second, possibly-aliased pointer: the differential demotes
+ *             the migration (aliased-write:node.next via m), and the
+ *             write keeps the program uncertifiable.
+ *   grow    — allocates in a loop whose variable never advances through
+ *             its own fields: no progress argument, allocs<=⊤.
+ */
+struct node {
+  int v;
+  struct node *next __affinity(95);
+};
+
+void spin(struct node *n) {
+  while (1) {
+    n->v = 0;
+  }
+}
+
+void rewire(struct node *l, struct node *m) {
+  while (l) {
+    m->next = l->next;
+    l = l->next;
+  }
+}
+
+struct node *grow(struct node *l) {
+  struct node *n;
+  while (l) {
+    n = alloc();
+    n->next = l;
+    l = n;
+  }
+  return l;
+}

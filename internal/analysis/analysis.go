@@ -10,12 +10,16 @@ import (
 )
 
 // A Finding is one contract violation, anchored to a source position.
+// Severity is optional ("warning" or "error"); producers whose checks
+// have a single implicit severity (the vet checks — every finding is a
+// violation) leave it empty.
 type Finding struct {
-	Check   string `json:"check"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Check    string `json:"check"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Severity string `json:"severity,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -32,6 +36,7 @@ var Checks = []struct {
 	{"future-discipline", checkFutureDiscipline},
 	{"heap-escape", checkHeapEscape},
 	{"mechanism-consistency", checkMechConsistency},
+	{"cert-trace", checkCertTrace},
 }
 
 // Run applies every check to every package and returns the findings

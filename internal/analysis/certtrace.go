@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"path"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis/effects"
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/rt"
+	"repro/internal/trace"
+
+	// The certificate cross-validation runs registered benchmarks; the
+	// kernels register themselves in package init.
+	_ "repro/internal/bench/barneshut"
+	_ "repro/internal/bench/bisort"
+	_ "repro/internal/bench/em3d"
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/power"
+	_ "repro/internal/bench/treeadd"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+// checkCertTrace cross-validates the static cacheability certificate of
+// a benchmark package's mini-C kernel against the runtime's own account
+// of what it did. A certificate claims the program's semantic access
+// behaviour is independent of the coherence scheme; the runtime half of
+// that claim is trace.AccessDigest — the order-insensitive projection of
+// the event stream onto semantic kinds, excluding protocol traffic. The
+// check runs the registered benchmark under all three schemes and flags
+// any certified kernel whose access digests differ, and any run that
+// fails its own verification.
+//
+// Packages without a KernelSource, kernels that are not registered
+// benchmarks, and kernels whose certificate is (correctly) refused are
+// all skipped: a refusal is the analysis doing its job, not a finding.
+func checkCertTrace(p *Package) []Finding {
+	src, pos, ok := kernelSource(p)
+	if !ok {
+		return nil
+	}
+	benchName := path.Base(p.unitPath())
+	info, registered := bench.Get(benchName)
+	if !registered {
+		return nil
+	}
+	res, err := effects.AnalyzeSource(src, core.DefaultParams())
+	if err != nil {
+		return nil // mechanism-consistency already reports parse failures
+	}
+	cert := res.Certificate()
+	if !cert.Cacheable {
+		return nil
+	}
+	for _, msg := range validateCertified(benchName, info) {
+		return []Finding{p.finding("cert-trace", pos, "%s", msg)}
+	}
+	return nil
+}
+
+// certTraceCache memoizes the per-benchmark validation: oldenvet loads a
+// benchmark package more than once (unit and test variants), and the
+// simulation runs are the expensive part.
+var certTraceCache sync.Map // bench name -> []string (failure messages)
+
+// certTraceScale trades coverage for vet latency: the claim is about
+// access *behaviour*, not size, so a reduced problem exercises the same
+// code paths the certificate reasons about.
+const certTraceScale = 4 * bench.DefaultScale
+
+func validateCertified(name string, info bench.Info) []string {
+	if v, ok := certTraceCache.Load(name); ok {
+		return v.([]string)
+	}
+	var msgs []string
+	type observed struct {
+		scheme string
+		kernel trace.Digest
+		build  trace.Digest
+	}
+	var obs []observed
+	for _, k := range []coherence.Kind{
+		coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral,
+	} {
+		rec := trace.New(0)
+		var rtm *rt.Runtime
+		r := info.Run(bench.Config{
+			Procs:       2,
+			Scheme:      k,
+			Scale:       certTraceScale,
+			Trace:       rec,
+			RuntimeHook: func(r *rt.Runtime) { rtm = r },
+		})
+		if !r.Verified() {
+			msgs = append(msgs, "certified kernel "+name+" failed verification under "+
+				k.String())
+			continue
+		}
+		o := observed{scheme: k.String(), kernel: rec.AccessDigest()}
+		if rtm != nil {
+			if _, access, ok := rtm.BuildPhaseDigest(); ok {
+				o.build = access
+			}
+		}
+		obs = append(obs, o)
+	}
+	for i := 1; i < len(obs); i++ {
+		if obs[i].kernel != obs[0].kernel {
+			msgs = append(msgs, "certificate for "+name+
+				" claims scheme-independence but kernel access digests differ: "+
+				obs[0].scheme+"="+obs[0].kernel.String()+" vs "+
+				obs[i].scheme+"="+obs[i].kernel.String())
+		}
+		if obs[i].build != obs[0].build {
+			msgs = append(msgs, "certificate for "+name+
+				" claims scheme-independence but build access digests differ: "+
+				obs[0].scheme+"="+obs[0].build.String()+" vs "+
+				obs[i].scheme+"="+obs[i].build.String())
+		}
+	}
+	// Normalize duplicate messages away (several schemes can disagree in
+	// the same way).
+	msgs = dedupe(msgs)
+	certTraceCache.Store(name, msgs)
+	return msgs
+}
+
+func dedupe(msgs []string) []string {
+	var out []string
+	for _, m := range msgs {
+		if len(out) == 0 || !contains(out, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if strings.EqualFold(x, v) {
+			return true
+		}
+	}
+	return false
+}

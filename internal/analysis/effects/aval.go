@@ -1,0 +1,414 @@
+package effects
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/lang"
+	"repro/internal/lang/cfg"
+)
+
+// aval is the abstract value of a pointer variable: the set of abstract
+// locations it may point into. The lattice is a powerset — join is
+// field-wise or — with top as the explicit everything element.
+//
+//   - params: bitmask of the function's parameters whose referent the
+//     pointer may alias (bit i for parameter i).
+//   - fresh: may point at an object allocated during this call that has
+//     not been loaded back from the heap. A fresh-only pointer aliases
+//     nothing the caller can see, so stores through it are invisible
+//     effects — the rule that keeps build-style initialization pure.
+//   - heap: may point at an arbitrary pre-existing heap object (loaded
+//     via a field, or returned heap-tainted by a callee).
+//   - null: may be NULL.
+//   - top: unknown (extern call results, use-before-init reads).
+type aval struct {
+	top    bool
+	null   bool
+	fresh  bool
+	heap   bool
+	params uint64
+}
+
+func (a aval) join(b aval) aval {
+	return aval{
+		top:    a.top || b.top,
+		null:   a.null || b.null,
+		fresh:  a.fresh || b.fresh,
+		heap:   a.heap || b.heap,
+		params: a.params | b.params,
+	}
+}
+
+// freshOnly reports whether the pointer can only reference objects
+// allocated during this call (or be NULL): writes through it are not
+// caller-visible effects.
+func (a aval) freshOnly() bool {
+	return !a.top && !a.heap && a.params == 0
+}
+
+// avalLattice adapts aval to the generic solver's Lattice interface.
+type avalLattice struct{}
+
+func (avalLattice) Bottom() aval         { return aval{} }
+func (avalLattice) Join(a, b aval) aval  { return a.join(b) }
+func (avalLattice) Equal(a, b aval) bool { return a == b }
+
+// env is the per-program-point alias environment.
+type env = map[string]aval
+
+// fnAnalysis analyzes one function against the current summary table.
+type fnAnalysis struct {
+	res   *Result
+	fn    *lang.FuncDecl
+	te    typeEnv
+	inSCC map[string]bool
+	g     *cfg.Graph
+	flow  dataflow.Result[env]
+}
+
+func newFnAnalysis(res *Result, fn *lang.FuncDecl, inSCC map[string]bool) *fnAnalysis {
+	fa := &fnAnalysis{res: res, fn: fn, te: buildTypeEnv(fn), inSCC: inSCC}
+	fa.g = cfg.Build(fn)
+	boundary := env{}
+	for i, p := range fn.Params {
+		if p.Type.IsPtr() && i < 64 {
+			boundary[p.Name] = aval{params: 1 << uint(i)}
+		}
+	}
+	lat := dataflow.MapLattice[aval]{Val: avalLattice{}}
+	fa.flow = dataflow.Solve(fa.g, dataflow.Problem[env]{
+		Lattice:  lat,
+		Dir:      dataflow.Forward,
+		Boundary: boundary,
+		Transfer: func(n int, in env) env {
+			if in == nil {
+				return nil // unreachable
+			}
+			ev := make(env, len(in))
+			for k, v := range in {
+				ev[k] = v
+			}
+			for _, s := range fa.g.Block(n).Stmts {
+				fa.applyStmt(ev, s)
+			}
+			return ev
+		},
+	})
+	return fa
+}
+
+// applyStmt updates the alias environment across one straight-line
+// statement. Heap stores change no local bindings.
+func (fa *fnAnalysis) applyStmt(ev env, s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		if s.Type.IsPtr() {
+			if s.Init != nil {
+				ev[s.Name] = fa.evalAval(ev, s.Init)
+			} else {
+				ev[s.Name] = aval{top: true}
+			}
+		}
+	case *lang.Assign:
+		if id, ok := s.LHS.(*lang.Ident); ok {
+			if _, isPtr := fa.te[id.Name]; isPtr {
+				ev[id.Name] = fa.evalAval(ev, s.RHS)
+			}
+		}
+	}
+}
+
+// evalAval computes the abstract value of a pointer expression.
+func (fa *fnAnalysis) evalAval(ev env, e lang.Expr) aval {
+	switch e := e.(type) {
+	case *lang.Ident:
+		if v, ok := ev[e.Name]; ok {
+			return v
+		}
+		if _, isPtr := fa.te[e.Name]; isPtr {
+			// Read before any assignment on this path: unknown. The
+			// use-before-init lint owns reporting it; here it only has
+			// to be conservative.
+			return aval{top: true}
+		}
+		return aval{}
+	case *lang.Null:
+		return aval{null: true}
+	case *lang.Arrow:
+		return aval{heap: true}
+	case *lang.Touch:
+		return fa.evalAval(ev, e.E)
+	case *lang.Call:
+		return fa.callAval(ev, e)
+	}
+	return aval{}
+}
+
+// callAval maps a call's return value through the callee's summary:
+// whatever parameters the return may alias translate into the abstract
+// values of the corresponding arguments.
+func (fa *fnAnalysis) callAval(ev env, c *lang.Call) aval {
+	callee := fa.res.Prog.Func(c.Name)
+	if callee == nil {
+		if c.Name == AllocName {
+			return aval{fresh: true}
+		}
+		return aval{top: true}
+	}
+	sum := fa.res.byName[c.Name]
+	if sum == nil {
+		return aval{top: true}
+	}
+	out := sum.ret
+	out.params = 0
+	for i := range callee.Params {
+		if i >= len(c.Args) || i >= 64 {
+			break
+		}
+		if sum.ret.params&(1<<uint(i)) != 0 {
+			out = out.join(fa.evalAval(ev, c.Args[i]))
+		}
+	}
+	return out
+}
+
+// summarize builds the function's effect summary (everything except the
+// cost bounds) from the solved alias flow.
+func (fa *fnAnalysis) summarize() *Summary {
+	s := &Summary{
+		Name:      fa.fn.Name,
+		Pos:       fa.fn.Pos,
+		Params:    paramNames(fa.fn),
+		Recursive: fa.callsSelf(),
+		Mutual:    len(fa.inSCC) > 1,
+	}
+	reads := map[Region]bool{}
+	writes := map[Region]bool{}
+	var escapeMask uint64
+	extern := map[string]bool{}
+
+	record := func(ev env, st lang.Stmt, cond lang.Expr) {
+		// Region reads: every Arrow chain in the statement (or branch
+		// condition). The final link of a store chain is the write; its
+		// prefix is reads.
+		var exprs []lang.Expr
+		var writeLHS *lang.Arrow
+		switch st := st.(type) {
+		case nil:
+			exprs = append(exprs, cond)
+		case *lang.VarDecl:
+			if st.Init != nil {
+				exprs = append(exprs, st.Init)
+			}
+		case *lang.Assign:
+			exprs = append(exprs, st.RHS)
+			if a, ok := st.LHS.(*lang.Arrow); ok {
+				writeLHS = a
+			}
+		case *lang.Return:
+			if st.E != nil {
+				exprs = append(exprs, st.E)
+				s.ret = s.ret.join(fa.evalAval(ev, st.E))
+			}
+		case *lang.ExprStmt:
+			exprs = append(exprs, st.E)
+		}
+		for _, e := range exprs {
+			for _, ch := range chainsIn(e) {
+				for _, rg := range chainRegions(fa.res.Prog, fa.te, ch) {
+					reads[rg] = true
+				}
+			}
+		}
+		if writeLHS != nil {
+			regs := chainRegions(fa.res.Prog, fa.te, writeLHS)
+			for i, rg := range regs {
+				if i < len(regs)-1 {
+					reads[rg] = true
+				}
+			}
+			base, _ := chainBase(writeLHS)
+			bv := fa.evalAval(ev, &lang.Ident{Name: base, Pos: lang.ExprPos(writeLHS)})
+			if len(regs) > 0 {
+				rg := regs[len(regs)-1]
+				if !bv.freshOnly() {
+					writes[rg] = true
+				}
+				s.stores = append(s.stores, storeRec{
+					base: base, baseAV: bv, region: rg, pos: lang.StmtPos(st),
+				})
+			}
+			escapeMask |= bv.params
+			// Storing a pointer into the heap publishes its referent.
+			if rhs := st.(*lang.Assign).RHS; rhs != nil {
+				escapeMask |= fa.evalAval(ev, rhs).params
+			}
+		}
+		// Calls: fold in callee effects.
+		var calls []*lang.Call
+		if st != nil {
+			calls = callsIn(st)
+		} else {
+			for _, c := range callsInExpr(cond) {
+				calls = append(calls, c)
+			}
+		}
+		for _, c := range calls {
+			if c.Future {
+				s.Futures = true
+			}
+			callee := fa.res.Prog.Func(c.Name)
+			if callee == nil {
+				if c.Name == AllocName {
+					continue
+				}
+				extern[c.Name] = true
+				// Unknown effects: every pointer argument escapes.
+				for _, a := range c.Args {
+					escapeMask |= fa.evalAval(ev, a).params
+				}
+				continue
+			}
+			sum := fa.res.byName[c.Name]
+			if sum == nil {
+				continue
+			}
+			for _, rg := range sum.Reads {
+				reads[rg] = true
+			}
+			for _, rg := range sum.Writes {
+				writes[rg] = true
+			}
+			for _, x := range sum.Extern {
+				extern[x] = true
+			}
+			if sum.Futures {
+				s.Futures = true
+			}
+			escIdx := map[string]int{}
+			for i, p := range callee.Params {
+				escIdx[p.Name] = i
+			}
+			for _, pn := range sum.Escapes {
+				i := escIdx[pn]
+				if i < len(c.Args) {
+					av := fa.evalAval(ev, c.Args[i])
+					escapeMask |= av.params
+					// An argument that may hold a pre-existing heap
+					// object and gets written inside the callee is a
+					// heap write here too — already covered by merging
+					// sum.Writes above.
+				}
+			}
+		}
+	}
+
+	for id, b := range fa.g.Blocks {
+		in := fa.flow.In[id]
+		if in == nil {
+			continue // unreachable: never executes
+		}
+		ev := make(env, len(in))
+		for k, v := range in {
+			ev[k] = v
+		}
+		for _, st := range b.Stmts {
+			record(ev, st, nil)
+			fa.applyStmt(ev, st)
+		}
+		if b.Cond != nil {
+			record(ev, nil, b.Cond)
+		}
+	}
+
+	s.Reads = sortRegions(reads)
+	s.Writes = sortRegions(writes)
+	for i, p := range fa.fn.Params {
+		if i < 64 && escapeMask&(1<<uint(i)) != 0 {
+			s.Escapes = append(s.Escapes, p.Name)
+		}
+	}
+	s.Extern = sortStrings(extern)
+	s.Pure = len(s.Writes) == 0 && len(s.Escapes) == 0 && len(s.Extern) == 0
+	return s
+}
+
+func (fa *fnAnalysis) callsSelf() bool {
+	for _, c := range callsIn(fa.fn.Body) {
+		if c.Name == fa.fn.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// chainsIn collects the maximal Arrow chains of an expression.
+func chainsIn(e lang.Expr) []*lang.Arrow {
+	var out []*lang.Arrow
+	var walk func(e lang.Expr)
+	walk = func(e lang.Expr) {
+		switch e := e.(type) {
+		case *lang.Arrow:
+			out = append(out, e)
+			// Nested chains inside the base only occur through calls,
+			// which the Call case below re-walks via arguments; a chain
+			// rooted at an Ident has nothing further inside.
+			if _, ok := chainBase(e); !ok {
+				walk(e.X)
+			}
+		case *lang.Call:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *lang.Touch:
+			walk(e.E)
+		case *lang.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *lang.Unary:
+			walk(e.X)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// callsInExpr collects the call expressions in one expression.
+func callsInExpr(e lang.Expr) []*lang.Call {
+	if e == nil {
+		return nil
+	}
+	return callsIn(&lang.ExprStmt{E: e})
+}
+
+func sortRegions(set map[Region]bool) []Region {
+	out := make([]Region, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sortSlice(out, func(a, b Region) bool {
+		if a.Struct != b.Struct {
+			return a.Struct < b.Struct
+		}
+		return a.Field < b.Field
+	})
+	return out
+}
+
+func sortStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortSlice(out, func(a, b string) bool { return a < b })
+	return out
+}
+
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package effects
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/lang/cfg"
+)
+
+// BoundClass orders the precision of a cost bound: a known constant, a
+// symbolic expression over numeric inputs, a heap-proportional bound
+// (some traversal of a linked structure whose size only the runtime
+// knows), or ⊤ — no bound at all.
+type BoundClass int
+
+const (
+	// BConst is an exact integer bound.
+	BConst BoundClass = iota
+	// BSym is a symbolic bound over the function's scalar inputs.
+	BSym
+	// BHeap is proportional to the size of a heap structure ("|tree|").
+	BHeap
+	// BTop is unbounded: an extern call, a while(1), a non-progressing
+	// loop, or mutual recursion.
+	BTop
+)
+
+// Bound is one static cost bound. The zero value is the constant 0.
+type Bound struct {
+	Class BoundClass
+	N     int64  // BConst only
+	Expr  string // BSym and BHeap only
+}
+
+// Top is the unbounded cost.
+func Top() Bound { return Bound{Class: BTop} }
+
+// Const is an exact bound.
+func Const(n int64) Bound { return Bound{Class: BConst, N: n} }
+
+// Sym is a symbolic bound over scalar inputs.
+func Sym(expr string) Bound { return Bound{Class: BSym, Expr: expr} }
+
+// Heap is a heap-proportional bound.
+func Heap(expr string) Bound { return Bound{Class: BHeap, Expr: expr} }
+
+// IsTop reports an unbounded cost.
+func (b Bound) IsTop() bool { return b.Class == BTop }
+
+// String renders the bound; ⊤ for unbounded.
+func (b Bound) String() string {
+	switch b.Class {
+	case BConst:
+		return fmt.Sprint(b.N)
+	case BTop:
+		return "⊤"
+	default:
+		return b.Expr
+	}
+}
+
+// maxExpr caps rendered expressions so fixpoints and deep programs cannot
+// grow bounds without limit; a squashed bound keeps its class.
+const maxExpr = 64
+
+func squash(e string) string {
+	if len(e) > maxExpr {
+		return e[:maxExpr-3] + "..."
+	}
+	return e
+}
+
+func maxClass(a, b BoundClass) BoundClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Add is the bound of doing both.
+func (b Bound) Add(o Bound) Bound {
+	if b.IsTop() || o.IsTop() {
+		return Top()
+	}
+	if b.Class == BConst && o.Class == BConst {
+		return Const(b.N + o.N)
+	}
+	if b.Class == BConst && b.N == 0 {
+		return o
+	}
+	if o.Class == BConst && o.N == 0 {
+		return b
+	}
+	return Bound{Class: maxClass(b.Class, o.Class), Expr: squash(b.String() + "+" + o.String())}
+}
+
+// Mul is the bound of repeating o up to b times.
+func (b Bound) Mul(o Bound) Bound {
+	if (b.Class == BConst && b.N == 0) || (o.Class == BConst && o.N == 0) {
+		return Const(0)
+	}
+	if b.IsTop() || o.IsTop() {
+		return Top()
+	}
+	if b.Class == BConst && o.Class == BConst {
+		return Const(b.N * o.N)
+	}
+	if b.Class == BConst && b.N == 1 {
+		return o
+	}
+	if o.Class == BConst && o.N == 1 {
+		return b
+	}
+	return Bound{Class: maxClass(b.Class, o.Class), Expr: squash(mulTerm(b) + "*" + mulTerm(o))}
+}
+
+func mulTerm(b Bound) string {
+	s := b.String()
+	if strings.Contains(s, "+") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// Join is the bound of doing either.
+func (b Bound) Join(o Bound) Bound {
+	if b.IsTop() || o.IsTop() {
+		return Top()
+	}
+	if b.Class == BConst && o.Class == BConst {
+		if o.N > b.N {
+			return o
+		}
+		return b
+	}
+	if b.String() == o.String() {
+		return Bound{Class: maxClass(b.Class, o.Class), N: b.N, Expr: b.Expr}
+	}
+	if b.Class == BConst && b.N == 0 {
+		return o
+	}
+	if o.Class == BConst && o.N == 0 {
+		return b
+	}
+	return Bound{Class: maxClass(b.Class, o.Class), Expr: squash("max(" + b.String() + "," + o.String() + ")")}
+}
+
+// cost pairs the two bounded resources.
+type cost struct {
+	steps  Bound
+	allocs Bound
+}
+
+func (c cost) add(o cost) cost {
+	return cost{steps: c.steps.Add(o.steps), allocs: c.allocs.Add(o.allocs)}
+}
+
+func (c cost) join(o cost) cost {
+	return cost{steps: c.steps.Join(o.steps), allocs: c.allocs.Join(o.allocs)}
+}
+
+func (c cost) mul(trip Bound) cost {
+	return cost{steps: trip.Mul(c.steps), allocs: trip.Mul(c.allocs)}
+}
+
+// bounds derives the function's cost bounds from its body, assuming every
+// callee outside the SCC already carries final bounds (the SCC driver
+// runs callee-first).
+func (fa *fnAnalysis) bounds(sum *Summary) {
+	if len(sum.Extern) > 0 || sum.Mutual {
+		sum.Steps, sum.Allocs = Top(), Top()
+		return
+	}
+	c := fa.stmtCost(fa.fn.Body)
+	if sum.Recursive {
+		c = c.mul(fa.recursionFactor())
+	}
+	sum.Steps, sum.Allocs = c.steps, c.allocs
+}
+
+// recursionFactor bounds the number of recursive invocations. Structural
+// recursion — some pointer parameter is rebound to one of its own fields
+// at every recursive call, which is exactly a diagonal entry in the §4.2
+// recursion-loop update matrix — descends a finite acyclic structure, so
+// the invocation count is heap-proportional. Anything else is unbounded.
+func (fa *fnAnalysis) recursionFactor() Bound {
+	for _, l := range fa.res.Report.FuncLoops(fa.fn.Name) {
+		if l.Kind != core.RecursionLoop {
+			continue
+		}
+		for _, p := range fa.fn.Params {
+			if !p.Type.IsPtr() {
+				continue
+			}
+			if _, ok := l.Matrix.Diagonal(p.Name); ok {
+				return Heap("|" + p.Type.Struct + "|")
+			}
+		}
+	}
+	return Top()
+}
+
+// stmtCost bounds one statement subtree, one invocation deep: calls fold
+// in callee bounds, loops multiply their body by a trip bound.
+func (fa *fnAnalysis) stmtCost(s lang.Stmt) cost {
+	one := cost{steps: Const(1), allocs: Const(0)}
+	switch s := s.(type) {
+	case *lang.Block:
+		var c cost
+		for _, st := range s.Stmts {
+			c = c.add(fa.stmtCost(st))
+		}
+		return c
+	case *lang.VarDecl:
+		if s.Init != nil {
+			return one.add(fa.exprCost(s.Init))
+		}
+		return one
+	case *lang.Assign:
+		return one.add(fa.exprCost(s.RHS))
+	case *lang.If:
+		c := one.add(fa.exprCost(s.Cond))
+		thenC := fa.stmtCost(s.Then)
+		var elseC cost
+		if s.Else != nil {
+			elseC = fa.stmtCost(s.Else)
+		}
+		return c.add(thenC.join(elseC))
+	case *lang.While:
+		iter := cost{steps: Const(1)}.add(fa.exprCost(s.Cond)).add(fa.stmtCost(s.Body))
+		return iter.mul(fa.tripBound(s.Cond, s.Body, nil))
+	case *lang.For:
+		var c cost
+		if s.Init != nil {
+			c = fa.stmtCost(s.Init)
+		}
+		iter := cost{steps: Const(1)}
+		if s.Cond != nil {
+			iter = iter.add(fa.exprCost(s.Cond))
+		}
+		iter = iter.add(fa.stmtCost(s.Body))
+		if s.Post != nil {
+			iter = iter.add(fa.stmtCost(s.Post))
+		}
+		return c.add(iter.mul(fa.tripBound(s.Cond, s.Body, s.Post)))
+	case *lang.Return:
+		if s.E != nil {
+			return one.add(fa.exprCost(s.E))
+		}
+		return one
+	case *lang.ExprStmt:
+		return one.add(fa.exprCost(s.E))
+	}
+	return cost{}
+}
+
+// exprCost bounds an expression: straight-line operations are free (the
+// enclosing statement's unit covers them); calls carry their callee's
+// bounds. A call into the current SCC costs one step here — the
+// recursion factor scales the whole body afterwards.
+func (fa *fnAnalysis) exprCost(e lang.Expr) cost {
+	var c cost
+	for _, call := range callsInExpr(e) {
+		switch {
+		case fa.res.Prog.Func(call.Name) == nil && call.Name == AllocName:
+			c = c.add(cost{steps: Const(1), allocs: Const(1)})
+		case fa.res.Prog.Func(call.Name) == nil:
+			return cost{steps: Top(), allocs: Top()}
+		case fa.inSCC[call.Name]:
+			c = c.add(cost{steps: Const(1)})
+		default:
+			sum := fa.res.byName[call.Name]
+			c = c.add(cost{steps: Const(1).Add(sum.Steps), allocs: sum.Allocs})
+		}
+	}
+	return c
+}
+
+// tripBound bounds a loop's iteration count.
+//
+//   - while(1) and other constant-true conditions: ⊤ (any exit is a
+//     return, which leaves the function, not just the loop).
+//   - Pointer chase: the condition tests a pointer v and every iteration
+//     rebinds v through one of its own fields (v = v->next): the loop
+//     walks a finite structure, bound |struct|.
+//   - Numeric induction: the condition compares a variable against a
+//     limit and the body/post steps it by a nonzero constant toward that
+//     limit: bound is the constant range when both endpoints are integer
+//     literals, symbolic in the limit otherwise.
+//   - Anything else: ⊤.
+func (fa *fnAnalysis) tripBound(cond lang.Expr, body lang.Stmt, post lang.Stmt) Bound {
+	if cond == nil {
+		return Top()
+	}
+	if v, ok := cfg.ConstCond(cond); ok {
+		if !v {
+			return Const(0)
+		}
+		return Top()
+	}
+	if b, ok := fa.pointerChase(cond, body, post); ok {
+		return b
+	}
+	if b, ok := fa.induction(cond, body, post); ok {
+		return b
+	}
+	return Top()
+}
+
+// pointerChase recognizes v-tests-and-advances loops: cond reads pointer
+// v and every path through body∪post ends with v = <chain rooted at v>.
+func (fa *fnAnalysis) pointerChase(cond lang.Expr, body lang.Stmt, post lang.Stmt) (Bound, bool) {
+	for _, u := range cfg.ExprReads(cond) {
+		st, isPtr := fa.te[u.Name]
+		if !isPtr || st == "" {
+			continue
+		}
+		if fa.advances(u.Name, body) || fa.advances(u.Name, post) {
+			return Heap("|" + st + "|"), true
+		}
+	}
+	return Bound{}, false
+}
+
+// advances reports whether the subtree contains v = <Arrow chain rooted
+// at v> (possibly through a touch), the canonical list-walk step.
+func (fa *fnAnalysis) advances(v string, s lang.Stmt) bool {
+	if s == nil {
+		return false
+	}
+	found := false
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.Assign:
+			id, ok := s.LHS.(*lang.Ident)
+			if !ok || id.Name != v {
+				return
+			}
+			rhs := s.RHS
+			if t, ok := rhs.(*lang.Touch); ok {
+				rhs = t.E
+			}
+			if a, ok := rhs.(*lang.Arrow); ok {
+				if base, ok := chainBase(a); ok && base == v {
+					found = true
+				}
+			}
+		case *lang.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		}
+	}
+	walk(s)
+	return found
+}
+
+// induction recognizes counted loops: cond is v < limit (or <=, >, >=)
+// and body∪post contains v = v ± k for a constant k moving toward the
+// limit.
+func (fa *fnAnalysis) induction(cond lang.Expr, body lang.Stmt, post lang.Stmt) (Bound, bool) {
+	b, ok := cond.(*lang.Binary)
+	if !ok {
+		return Bound{}, false
+	}
+	v, limit, op := "", lang.Expr(nil), b.Op
+	if id, ok := b.L.(*lang.Ident); ok {
+		v, limit = id.Name, b.R
+	} else if id, ok := b.R.(*lang.Ident); ok {
+		// limit OP v: flip the comparison.
+		v, limit = id.Name, b.L
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	} else {
+		return Bound{}, false
+	}
+	if _, isPtr := fa.te[v]; isPtr {
+		return Bound{}, false
+	}
+	step, ok := stepOf(v, body)
+	if !ok {
+		step, ok = stepOf(v, post)
+	}
+	if !ok || step == 0 {
+		return Bound{}, false
+	}
+	up := step > 0
+	switch op {
+	case "<", "<=":
+		if !up {
+			return Bound{}, false
+		}
+	case ">", ">=":
+		if up {
+			return Bound{}, false
+		}
+	default:
+		return Bound{}, false
+	}
+	mag := step
+	if mag < 0 {
+		mag = -mag
+	}
+	if lim, ok := limit.(*lang.IntLit); ok {
+		span := lim.V
+		if span < 0 {
+			span = -span
+		}
+		// Without the initial value the literal span over the step is the
+		// honest bound only for loops counting from zero toward the
+		// limit; otherwise stay symbolic in the limit.
+		return Const(span/mag + 1), true
+	}
+	if id, ok := limit.(*lang.Ident); ok {
+		if _, isPtr := fa.te[id.Name]; !isPtr {
+			if mag == 1 {
+				return Sym(id.Name), true
+			}
+			return Sym(fmt.Sprintf("%s/%d", id.Name, mag)), true
+		}
+	}
+	return Bound{}, false
+}
+
+// stepOf finds v = v + k / v = v - k in a subtree and returns the signed
+// constant step.
+func stepOf(v string, s lang.Stmt) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	var step int64
+	found := false
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.Assign:
+			id, ok := s.LHS.(*lang.Ident)
+			if !ok || id.Name != v {
+				return
+			}
+			b, ok := s.RHS.(*lang.Binary)
+			if !ok || (b.Op != "+" && b.Op != "-") {
+				return
+			}
+			base, bok := b.L.(*lang.Ident)
+			k, kok := b.R.(*lang.IntLit)
+			if !bok || !kok || base.Name != v {
+				return
+			}
+			step = k.V
+			if b.Op == "-" {
+				step = -step
+			}
+			found = true
+		case *lang.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		}
+	}
+	walk(s)
+	return step, found
+}

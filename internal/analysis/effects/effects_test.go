@@ -1,0 +1,380 @@
+package effects
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	r, err := AnalyzeSource(src, core.DefaultParams())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return r
+}
+
+const figure4 = `
+struct tree {
+  int val;
+  struct tree *left __affinity(90);
+  struct tree *right __affinity(70);
+};
+int TreeAdd(struct tree *t) {
+  if (t == NULL) return 0;
+  else return TreeAdd(t->left) + TreeAdd(t->right) + t->val;
+}
+`
+
+func TestTreeAddSummary(t *testing.T) {
+	r := analyze(t, figure4)
+	s := r.Summary("TreeAdd")
+	if s == nil {
+		t.Fatal("no summary for TreeAdd")
+	}
+	if !s.Pure {
+		t.Errorf("TreeAdd not pure: %s", s.EffectsLine())
+	}
+	if !s.Recursive || s.Mutual {
+		t.Errorf("recursive=%v mutual=%v, want true,false", s.Recursive, s.Mutual)
+	}
+	wantReads := []Region{{"tree", "left"}, {"tree", "right"}, {"tree", "val"}}
+	if !reflect.DeepEqual(s.Reads, wantReads) {
+		t.Errorf("Reads = %v, want %v", s.Reads, wantReads)
+	}
+	if len(s.Writes) != 0 || len(s.Escapes) != 0 || len(s.Extern) != 0 {
+		t.Errorf("unexpected effects: %s", s.EffectsLine())
+	}
+	if s.Steps.Class != BHeap {
+		t.Errorf("Steps = %s (class %d), want heap-proportional", s.Steps, s.Steps.Class)
+	}
+	if s.Allocs.Class != BConst || s.Allocs.N != 0 {
+		t.Errorf("Allocs = %s, want 0", s.Allocs)
+	}
+}
+
+func TestFigure3ListWalk(t *testing.T) {
+	r := analyze(t, `
+struct node {
+  struct node *left __affinity(90);
+  struct node *right __affinity(70);
+};
+void f(struct node *s, struct node *t, struct node *u) {
+  while (s) {
+    s = s->left;
+    t = t->right->left;
+    u = s->right;
+  }
+}
+`)
+	s := r.Summary("f")
+	if !s.Pure {
+		t.Errorf("f not pure: %s", s.EffectsLine())
+	}
+	wantReads := []Region{{"node", "left"}, {"node", "right"}}
+	if !reflect.DeepEqual(s.Reads, wantReads) {
+		t.Errorf("Reads = %v, want %v", s.Reads, wantReads)
+	}
+	// Pointer chase on s: heap-proportional trip count.
+	if s.Steps.Class != BHeap {
+		t.Errorf("Steps = %s, want heap-proportional", s.Steps)
+	}
+}
+
+func TestFreshAllocationsStayPure(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; struct node *next; };
+struct node *mk(int v) {
+  struct node *n;
+  n = alloc();
+  n->v = v;
+  n->next = NULL;
+  return n;
+}
+`)
+	s := r.Summary("mk")
+	if !s.Pure {
+		t.Errorf("mk not pure: %s", s.EffectsLine())
+	}
+	if len(s.Writes) != 0 {
+		t.Errorf("fresh-only stores counted as writes: %v", s.Writes)
+	}
+	if s.Allocs.Class != BConst || s.Allocs.N != 1 {
+		t.Errorf("Allocs = %s, want 1", s.Allocs)
+	}
+	if !s.ret.fresh || s.ret.heap || s.ret.top {
+		t.Errorf("ret = %+v, want fresh-only", s.ret)
+	}
+}
+
+func TestParamWriteEscapes(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; struct node *next; };
+void set(struct node *n, int v) {
+  n->v = v;
+}
+void caller(struct node *m) {
+  set(m, 3);
+}
+`)
+	s := r.Summary("set")
+	if s.Pure {
+		t.Error("set should not be pure: writes through a parameter")
+	}
+	if !reflect.DeepEqual(s.Writes, []Region{{"node", "v"}}) {
+		t.Errorf("Writes = %v, want [node.v]", s.Writes)
+	}
+	if !reflect.DeepEqual(s.Escapes, []string{"n"}) {
+		t.Errorf("Escapes = %v, want [n]", s.Escapes)
+	}
+	// The effect propagates interprocedurally to the caller.
+	c := r.Summary("caller")
+	if c.Pure {
+		t.Error("caller should inherit set's impurity")
+	}
+	if !reflect.DeepEqual(c.Writes, []Region{{"node", "v"}}) {
+		t.Errorf("caller Writes = %v, want [node.v]", c.Writes)
+	}
+	if !reflect.DeepEqual(c.Escapes, []string{"m"}) {
+		t.Errorf("caller Escapes = %v, want [m]", c.Escapes)
+	}
+}
+
+func TestExternPoisonsEverything(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int f(struct node *n) {
+  return mystery(n);
+}
+`)
+	s := r.Summary("f")
+	if s.Pure {
+		t.Error("extern call should break purity")
+	}
+	if !reflect.DeepEqual(s.Extern, []string{"mystery"}) {
+		t.Errorf("Extern = %v, want [mystery]", s.Extern)
+	}
+	if !reflect.DeepEqual(s.Escapes, []string{"n"}) {
+		t.Errorf("Escapes = %v, want [n] (pointer arg to extern)", s.Escapes)
+	}
+	if !s.Steps.IsTop() || !s.Allocs.IsTop() {
+		t.Errorf("bounds = %s/%s, want ⊤/⊤", s.Steps, s.Allocs)
+	}
+	cert := r.Certificate()
+	if cert.Cacheable {
+		t.Error("extern program must not be certified")
+	}
+	found := false
+	for _, reason := range cert.Reasons {
+		if reason == "extern-call:mystery" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Reasons = %v, want extern-call:mystery", cert.Reasons)
+	}
+}
+
+func TestMutualRecursionTops(t *testing.T) {
+	r := analyze(t, `
+struct node { struct node *next; };
+void ping(struct node *n) { pong(n); }
+void pong(struct node *n) { ping(n); }
+`)
+	for _, name := range []string{"ping", "pong"} {
+		s := r.Summary(name)
+		if !s.Mutual {
+			t.Errorf("%s: Mutual = false, want true", name)
+		}
+		if !s.Steps.IsTop() {
+			t.Errorf("%s: Steps = %s, want ⊤", name, s.Steps)
+		}
+	}
+}
+
+func TestCountedLoopBounds(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int count(int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+int fixed() {
+  int i;
+  int s;
+  s = 0;
+  i = 0;
+  while (i < 10) {
+    s = s + i;
+    i = i + 1;
+  }
+  return s;
+}
+`)
+	c := r.Summary("count")
+	if c.Steps.Class != BSym || !strings.Contains(c.Steps.Expr, "n") {
+		t.Errorf("count Steps = %s, want symbolic in n", c.Steps)
+	}
+	f := r.Summary("fixed")
+	if f.Steps.Class != BConst {
+		t.Errorf("fixed Steps = %s, want constant", f.Steps)
+	}
+}
+
+func TestUnboundedLoopTops(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+void spin(struct node *n) {
+  while (1) {
+    n->v = 0;
+  }
+}
+`)
+	s := r.Summary("spin")
+	if !s.Steps.IsTop() {
+		t.Errorf("spin Steps = %s, want ⊤", s.Steps)
+	}
+}
+
+func TestAliasedWriteDiff(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; struct node *next __affinity(95); };
+void f(struct node *l, struct node *m) {
+  while (l) {
+    m->v = 3;
+    l = l->next;
+  }
+}
+`)
+	var hit *Diff
+	for i := range r.Diffs {
+		if strings.HasPrefix(r.Diffs[i].Reason, "aliased-write:") {
+			hit = &r.Diffs[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no aliased-write diff; diffs = %+v", r.Diffs)
+	}
+	if hit.Reason != "aliased-write:node.v via m" {
+		t.Errorf("Reason = %q", hit.Reason)
+	}
+	if hit.Old != core.ChooseMigrate || hit.New != core.ChooseCache {
+		t.Errorf("diff %s->%s, want migrate->cache", hit.Old, hit.New)
+	}
+}
+
+func TestFreshWriteRaisesNoDiff(t *testing.T) {
+	// Same shape, but the written object is allocated inside the loop:
+	// provably unaliased, so the heuristic's choice stands.
+	r := analyze(t, `
+struct node { int v; struct node *next __affinity(95); };
+void f(struct node *l) {
+  struct node *m;
+  while (l) {
+    m = alloc();
+    m->v = 3;
+    l = l->next;
+  }
+}
+`)
+	for _, d := range r.Diffs {
+		if strings.HasPrefix(d.Reason, "aliased-write:") {
+			t.Errorf("fresh store reported as aliased write: %+v", d)
+		}
+	}
+}
+
+func TestDerivedFromDiff(t *testing.T) {
+	r := analyze(t, `
+struct tree { int val; struct tree *left __affinity(95); struct tree *kid __affinity(95); };
+int g(struct tree *t) {
+  struct tree *w;
+  int s;
+  s = 0;
+  while (t) {
+    w = t->kid;
+    s = s + w->val;
+    t = t->left;
+  }
+  return s;
+}
+`)
+	var hit *Diff
+	for i := range r.Diffs {
+		if r.Diffs[i].Reason == "derived-from:t" && r.Diffs[i].Var == "w" {
+			hit = &r.Diffs[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no derived-from diff for w; diffs = %+v", r.Diffs)
+	}
+	if hit.Old != core.ChooseCache || hit.New != core.ChooseMigrate {
+		t.Errorf("diff %s->%s, want cache->migrate", hit.Old, hit.New)
+	}
+}
+
+func TestCertificateMigrateOnly(t *testing.T) {
+	r := analyze(t, figure4)
+	cert := r.Certificate()
+	if !cert.MigrateOnly {
+		t.Error("figure4 should be migrate-only")
+	}
+	if !cert.Cacheable {
+		t.Errorf("figure4 should be certified; reasons = %v", cert.Reasons)
+	}
+	if len(cert.Digest) != 16 {
+		t.Errorf("Digest = %q, want 16 hex chars", cert.Digest)
+	}
+}
+
+func TestCertificateStability(t *testing.T) {
+	a := analyze(t, figure4).Certificate()
+	b := analyze(t, figure4).Certificate()
+	if a.Digest != b.Digest {
+		t.Errorf("digest not stable: %s vs %s", a.Digest, b.Digest)
+	}
+	// Any effect change must move the digest.
+	c := analyze(t, strings.Replace(figure4, "t->val", "t->val + TreeAdd(t->left)", 1)).Certificate()
+	if c.Digest == a.Digest {
+		t.Error("digest unchanged by a different program")
+	}
+}
+
+func TestFindingsDeterministicOrder(t *testing.T) {
+	src := `
+struct node { int v; struct node *next __affinity(95); };
+void f(struct node *l, struct node *m) {
+  while (l) {
+    m->v = 3;
+    l = l->next;
+  }
+}
+struct node *mk() {
+  struct node *n;
+  n = alloc();
+  return n;
+}
+`
+	first := analyze(t, src).Findings("x.c")
+	for i := 0; i < 10; i++ {
+		got := analyze(t, src).Findings("x.c")
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d differs:\n%v\nvs\n%v", i, got, first)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) ||
+			(a.Line == b.Line && a.Col == b.Col && a.Check > b.Check) {
+			t.Errorf("findings out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}

@@ -73,6 +73,17 @@ type Loop struct {
 	bodyStmt lang.Stmt
 }
 
+// Body returns the statements the control loop repeats: the loop body for
+// a syntactic loop, the whole function body for a recursion loop. Clients
+// outside the package (the effects analysis re-deriving traversal shape
+// per loop) need the body without re-walking the source for it.
+func (l *Loop) Body() lang.Stmt {
+	if l.Kind == SyntacticLoop {
+		return l.bodyStmt
+	}
+	return l.Fn.Body
+}
+
 // IsParallelizable reports whether a statement subtree contains a
 // futurecall outside any nested syntactic loop (nested loops are their own
 // control loops).

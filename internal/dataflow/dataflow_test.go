@@ -221,3 +221,38 @@ func TestBackwardFixpointQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMapLattice pins the pointwise-map adapter's semantics: nil is a
+// distinguished bottom, absent keys join as the value bottom, and join
+// never mutates its arguments.
+func TestMapLattice(t *testing.T) {
+	l := MapLattice[uint16]{Val: bits{}}
+	if l.Bottom() != nil {
+		t.Fatal("Bottom must be nil")
+	}
+	a := map[string]uint16{"x": 0b01, "y": 0b10}
+	b := map[string]uint16{"x": 0b10, "z": 0b100}
+	j := l.Join(a, b)
+	want := map[string]uint16{"x": 0b11, "y": 0b10, "z": 0b100}
+	if !reflect.DeepEqual(j, want) {
+		t.Fatalf("Join = %v, want %v", j, want)
+	}
+	if a["x"] != 0b01 || len(b) != 2 {
+		t.Fatal("Join mutated an argument")
+	}
+	if got := l.Join(nil, a); !reflect.DeepEqual(got, a) {
+		t.Fatalf("Join(bottom, a) = %v", got)
+	}
+	if got := l.Join(a, nil); !reflect.DeepEqual(got, a) {
+		t.Fatalf("Join(a, bottom) = %v", got)
+	}
+	if !l.Equal(map[string]uint16{"x": 1, "y": 0}, map[string]uint16{"x": 1}) {
+		t.Error("a key at value-bottom must equal its absence")
+	}
+	if l.Equal(nil, map[string]uint16{}) {
+		t.Error("nil (unreachable) must differ from an empty environment")
+	}
+	if l.Equal(a, b) {
+		t.Error("distinct environments compare equal")
+	}
+}

@@ -1,0 +1,66 @@
+package dataflow
+
+// MapLattice lifts a value lattice pointwise to string-keyed maps: the
+// bottom map is nil, join is key-wise (a key absent from one side keeps
+// the other side's value, since absence means the value bottom), and two
+// maps are equal when every key's value is, treating absent keys as
+// bottom. It is the natural domain for environment-style analyses — one
+// abstract value per program variable — and keeps each client from
+// re-deriving the same map plumbing around Solve.
+//
+// Join never mutates its arguments; it returns a fresh map whenever both
+// sides are non-nil.
+type MapLattice[V any] struct {
+	Val Lattice[V]
+}
+
+// Bottom returns the nil map (every key implicitly at Val.Bottom).
+func (l MapLattice[V]) Bottom() map[string]V { return nil }
+
+// Join merges two environments key-wise.
+func (l MapLattice[V]) Join(a, b map[string]V) map[string]V {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(map[string]V, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, bv := range b {
+		if av, ok := out[k]; ok {
+			out[k] = l.Val.Join(av, bv)
+		} else {
+			out[k] = bv
+		}
+	}
+	return out
+}
+
+// Equal compares two environments, treating absent keys as bottom.
+func (l MapLattice[V]) Equal(a, b map[string]V) bool {
+	if (a == nil) != (b == nil) {
+		// nil is the unreachable bottom; a non-nil map — even an empty
+		// one — is a reachable environment. The distinction matters:
+		// blocks cut off by returns must not look like the entry.
+		return false
+	}
+	bot := l.Val.Bottom()
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			bv = bot
+		}
+		if !l.Val.Equal(av, bv) {
+			return false
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok && !l.Val.Equal(bv, bot) {
+			return false
+		}
+	}
+	return true
+}

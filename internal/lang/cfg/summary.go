@@ -205,6 +205,66 @@ func StmtDerefs(s lang.Stmt) []Deref {
 	return out
 }
 
+// Store is one heap store p->…->f = rhs: the Arrow chain's base variable,
+// the final field assigned, and the position of the assignment. The chain
+// between Base and Field is ordinary reads (StmtReads covers them); the
+// store itself is the only write the statement performs on the heap.
+type Store struct {
+	Base  string
+	Field string
+	Pos   lang.Pos
+}
+
+// StmtStores returns the heap stores of a straight-line statement
+// (including inside opaque nested loops in body-mode graphs), in source
+// order. Only Assign statements whose left-hand side is an Arrow chain
+// rooted at a variable produce stores.
+func StmtStores(s lang.Stmt) []Store {
+	var out []Store
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.Assign:
+			lhs, ok := s.LHS.(*lang.Arrow)
+			if !ok {
+				return
+			}
+			inner := lhs
+			for {
+				x, ok := inner.X.(*lang.Arrow)
+				if !ok {
+					break
+				}
+				inner = x
+			}
+			if id, ok := inner.X.(*lang.Ident); ok {
+				out = append(out, Store{Base: id.Name, Field: lhs.Field, Pos: s.Pos})
+			}
+		case *lang.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
 // ExprReads returns the variable reads of an expression in evaluation
 // order. Dereferencing a pointer reads its base variable.
 func ExprReads(e lang.Expr) []VarUse {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/gaddr"
+	"repro/internal/trace"
 )
 
 var (
@@ -289,6 +290,48 @@ func TestResetForKernel(t *testing.T) {
 			t.Errorf("heap lost data across reset: %d", v)
 		}
 	})
+}
+
+// TestBuildPhaseDigestStash pins that ResetForKernel snapshots the build
+// phase's trace digests before discarding its events: the phase keeps an
+// identity the certificate-trace validation can compare across schemes.
+func TestBuildPhaseDigestStash(t *testing.T) {
+	run := func() *Runtime {
+		r := New(Config{Procs: 2, Scheme: coherence.LocalKnowledge,
+			HeapBytesPerProc: 1 << 22, Trace: trace.New(0)})
+		r.Run(0, func(th *Thread) {
+			g := th.Alloc(1, 16)
+			th.StoreInt(siteCache, g, 0, 9)
+			th.LoadInt(siteCache, g, 0)
+		})
+		return r
+	}
+
+	r := run()
+	if _, _, ok := r.BuildPhaseDigest(); ok {
+		t.Fatal("digest reported before any ResetForKernel")
+	}
+	r.ResetForKernel()
+	full, access, ok := r.BuildPhaseDigest()
+	if !ok {
+		t.Fatal("digest missing after ResetForKernel")
+	}
+	if full.Events == 0 || access.Events == 0 {
+		t.Fatalf("empty phase digests: full=%s access=%s", full, access)
+	}
+	if r.M.Tracer.Len() != 0 {
+		t.Fatal("tracer events survived the reset")
+	}
+
+	// The stash must be reproducible: an identical run yields identical
+	// phase digests.
+	r2 := run()
+	r2.ResetForKernel()
+	full2, access2, _ := r2.BuildPhaseDigest()
+	if full != full2 || access != access2 {
+		t.Errorf("build-phase digests not reproducible:\n%s vs %s\n%s vs %s",
+			full, full2, access, access2)
+	}
 }
 
 func TestSiteStats(t *testing.T) {

@@ -192,6 +192,16 @@ type Runtime struct {
 	mReturnLat  *metrics.Histogram
 	mTouchBlock *metrics.Histogram
 
+	// buildDigest and buildAccess snapshot the build phase's trace just
+	// before ResetForKernel discards it, so the phase keeps a durable
+	// identity (the cacheability certificates in analysis/effects are
+	// validated against these per-phase digests, not only the kernel's).
+	// Only the virtual-time-active thread calls ResetForKernel, so the
+	// same hand-off ordering covers them.
+	buildDigest trace.Digest
+	buildAccess trace.Digest
+	buildPhases int
+
 	live sync.WaitGroup // outstanding future bodies
 }
 
@@ -328,13 +338,26 @@ func (r *Runtime) ResetForKernel() {
 		r.dirty[i] = coherence.DirtySet{}
 	}
 	// The kernel phase is traced on its own: drop build-phase events but
-	// keep interned site names (sites persist across phases).
+	// keep interned site names (sites persist across phases). The phase's
+	// digests are stashed first — discarding the events must not discard
+	// the phase's identity.
 	if r.M.Tracer != nil {
+		r.buildDigest = r.M.Tracer.Digest()
+		r.buildAccess = r.M.Tracer.AccessDigest()
+		r.buildPhases++
 		r.M.Tracer.Reset()
 	}
 	// The metrics registry follows the same epoch: a kernel-timed record
 	// must not mix build-phase counts into its dump. (Reset is nil-safe.)
 	r.M.Metrics.Reset()
+}
+
+// BuildPhaseDigest returns the trace digests of the most recent phase
+// retired by ResetForKernel: the full emission-order digest and the
+// scheme-invariant access projection (trace.AccessDigest). ok is false
+// when tracing was off or ResetForKernel has not run.
+func (r *Runtime) BuildPhaseDigest() (full, access trace.Digest, ok bool) {
+	return r.buildDigest, r.buildAccess, r.buildPhases > 0
 }
 
 // HeapFingerprint hashes the allocated contents of every processor's heap

@@ -83,6 +83,7 @@ type extraKey struct{}
 // Handler returns the service's HTTP surface:
 //
 //	POST /run         execute (or memo-serve) one benchmark run
+//	POST /analyze     static effect/cost analysis with budget admission
 //	GET  /benchmarks  the shared machine-readable catalog
 //	GET  /metrics     Prometheus exposition of the server registry
 //	GET  /healthz     liveness (200 while the process serves)
@@ -93,6 +94,7 @@ type extraKey struct{}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

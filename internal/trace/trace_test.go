@@ -103,6 +103,65 @@ func TestDigestFoldsDrops(t *testing.T) {
 	}
 }
 
+// TestAccessDigest pins the access projection's three defining properties:
+// protocol events are invisible, timing is invisible, and order is
+// invisible — while the multiset of semantic access events is not.
+func TestAccessDigest(t *testing.T) {
+	hit := Event{Kind: EvCacheHit, T: 10, Page: 4096, Site: 1, Tid: 0, P: 1, Line: 2}
+	miss := Event{Kind: EvCacheMiss, T: 20, Dur: 44, Page: 8192, Site: 2, Tid: 0, P: 1, Line: 0}
+
+	base := New(16)
+	base.Emit(hit)
+	base.Emit(miss)
+	want := base.AccessDigest()
+	if want.Events != 2 || want.Counts[EvCacheHit] != 1 || want.Counts[EvCacheMiss] != 1 {
+		t.Fatalf("access counts wrong: %+v", want)
+	}
+
+	// Protocol events (flush, inval, ack, stamp, stale) must not perturb it.
+	proto := New(16)
+	proto.Emit(hit)
+	proto.Emit(Event{Kind: EvFullFlush, T: 15, Arg: 7, P: 1, Site: -1, Line: -1})
+	proto.Emit(Event{Kind: EvLineInval, T: 16, Arg: 3, Page: 4096, P: 2, Site: -1, Line: -1})
+	proto.Emit(Event{Kind: EvMarkStale, T: 17, Arg: 4, P: 1, Site: -1, Line: -1})
+	proto.Emit(miss)
+	if got := proto.AccessDigest(); got != want {
+		t.Errorf("protocol events leaked into access digest:\n got %s\nwant %s", got, want)
+	}
+
+	// Timing shifts (a different coherence scheme's clock) must not either.
+	late := New(16)
+	h2, m2 := hit, miss
+	h2.T, m2.T, m2.Dur = 900, 1000, 80
+	late.Emit(h2)
+	late.Emit(m2)
+	if got := late.AccessDigest(); got != want {
+		t.Errorf("timing leaked into access digest:\n got %s\nwant %s", got, want)
+	}
+
+	// Nor must emission order: the digest is over the event multiset.
+	rev := New(16)
+	rev.Emit(miss)
+	rev.Emit(hit)
+	if got := rev.AccessDigest(); got != want {
+		t.Errorf("order leaked into access digest:\n got %s\nwant %s", got, want)
+	}
+
+	// But a genuinely different access (another page) must change it.
+	other := New(16)
+	h3 := hit
+	h3.Page = 12288
+	other.Emit(h3)
+	other.Emit(miss)
+	if got := other.AccessDigest(); got.Hash == want.Hash {
+		t.Errorf("different page collided at %016x", got.Hash)
+	}
+
+	if IsAccessKind(EvLineInval) || IsAccessKind(EvFullFlush) || !IsAccessKind(EvMigrate) {
+		t.Error("IsAccessKind misclassifies protocol/semantic kinds")
+	}
+}
+
 func TestDigestString(t *testing.T) {
 	r := New(8)
 	r.Emit(ev(EvMigrate, 1))

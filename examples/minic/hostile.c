@@ -8,6 +8,11 @@
  *             write keeps the program uncertifiable.
  *   grow    — allocates in a loop whose variable never advances through
  *             its own fields: no progress argument, allocs<=⊤.
+ *   creep   — counts up to a literal limit from a starting value the
+ *             analysis cannot see: the limit alone bounds nothing,
+ *             steps<=⊤.
+ *   stall   — a pointer chase that only advances on some paths: no
+ *             iteration is guaranteed to make progress, steps<=⊤.
  */
 struct node {
   int v;
@@ -35,4 +40,22 @@ struct node *grow(struct node *l) {
     l = n;
   }
   return l;
+}
+
+int creep(int n) {
+  int i;
+  i = 0 - 1000000;
+  while (i < 10) {
+    i = i + 1;
+  }
+  return i;
+}
+
+void stall(struct node *p, int c) {
+  while (p) {
+    if (c) {
+      p = p->next;
+    }
+    c = 0;
+  }
 }

@@ -57,10 +57,11 @@ func checkCertTrace(p *Package) []Finding {
 	if !cert.Cacheable {
 		return nil
 	}
+	var fs []Finding
 	for _, msg := range validateCertified(benchName, info) {
-		return []Finding{p.finding("cert-trace", pos, "%s", msg)}
+		fs = append(fs, p.finding("cert-trace", pos, "%s", msg))
 	}
-	return nil
+	return fs
 }
 
 // certTraceCache memoizes the per-benchmark validation: oldenvet loads a

@@ -79,13 +79,52 @@ func maxClass(a, b BoundClass) BoundClass {
 	return b
 }
 
-// Add is the bound of doing both.
+// addOvf is overflow-checked int64 addition.
+func addOvf(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < a) || (a < 0 && b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// subOvf is overflow-checked int64 subtraction.
+func subOvf(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
+}
+
+// mulOvf is overflow-checked int64 multiplication.
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == minInt64 || b == minInt64 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+const minInt64 = -1 << 63
+
+// Add is the bound of doing both. Constant arithmetic that overflows
+// int64 saturates to ⊤: a bound too large to represent is no bound.
 func (b Bound) Add(o Bound) Bound {
 	if b.IsTop() || o.IsTop() {
 		return Top()
 	}
 	if b.Class == BConst && o.Class == BConst {
-		return Const(b.N + o.N)
+		if s, ok := addOvf(b.N, o.N); ok {
+			return Const(s)
+		}
+		return Top()
 	}
 	if b.Class == BConst && b.N == 0 {
 		return o
@@ -105,7 +144,10 @@ func (b Bound) Mul(o Bound) Bound {
 		return Top()
 	}
 	if b.Class == BConst && o.Class == BConst {
-		return Const(b.N * o.N)
+		if p, ok := mulOvf(b.N, o.N); ok {
+			return Const(p)
+		}
+		return Top()
 	}
 	if b.Class == BConst && b.N == 1 {
 		return o
@@ -173,11 +215,114 @@ func (fa *fnAnalysis) bounds(sum *Summary) {
 		sum.Steps, sum.Allocs = Top(), Top()
 		return
 	}
-	c := fa.stmtCost(fa.fn.Body)
+	c := fa.stmtCost(fa.fn.Body, constEnv{})
 	if sum.Recursive {
 		c = c.mul(fa.recursionFactor())
 	}
 	sum.Steps, sum.Allocs = c.steps, c.allocs
+}
+
+// constEnv maps scalar variables to the integer literal they are known to
+// hold at the current program point; absence means unknown. It feeds the
+// induction recognizer its initial values — a literal loop limit bounds
+// nothing unless the variable's starting point is known too.
+type constEnv map[string]int64
+
+func (ce constEnv) clone() constEnv {
+	out := make(constEnv, len(ce))
+	for k, v := range ce {
+		out[k] = v
+	}
+	return out
+}
+
+// afterStmt folds one executed statement into the environment: literal
+// assignments record a value, everything else that touches a variable
+// forgets it. Branch and loop statements forget every variable they might
+// assign — the straight-line walk cannot tell which path ran.
+func (ce constEnv) afterStmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.Block:
+		for _, st := range s.Stmts {
+			ce.afterStmt(st)
+		}
+	case *lang.VarDecl:
+		if lit, ok := s.Init.(*lang.IntLit); ok {
+			ce[s.Name] = lit.V
+		} else {
+			delete(ce, s.Name)
+		}
+	case *lang.Assign:
+		id, ok := s.LHS.(*lang.Ident)
+		if !ok {
+			return
+		}
+		if lit, ok := s.RHS.(*lang.IntLit); ok {
+			ce[id.Name] = lit.V
+		} else {
+			delete(ce, id.Name)
+		}
+	case *lang.If, *lang.While, *lang.For:
+		for v := range assignedIn(s) {
+			delete(ce, v)
+		}
+	}
+}
+
+// assignedIn collects every variable a subtree may assign or declare
+// (the subset has one flat namespace per function).
+func assignedIn(s lang.Stmt) map[string]bool {
+	out := map[string]bool{}
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch s := s.(type) {
+		case *lang.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *lang.VarDecl:
+			out[s.Name] = true
+		case *lang.Assign:
+			if id, ok := s.LHS.(*lang.Ident); ok {
+				out[id.Name] = true
+			}
+		case *lang.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *lang.While:
+			walk(s.Body)
+		case *lang.For:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walk(s.Body)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+	return out
+}
+
+// loopEntryEnv is the literal environment on entry to an arbitrary loop
+// iteration: whatever held before the loop, minus everything the loop
+// itself may assign.
+func loopEntryEnv(ce constEnv, body, post lang.Stmt) constEnv {
+	out := ce.clone()
+	for v := range assignedIn(body) {
+		delete(out, v)
+	}
+	if post != nil {
+		for v := range assignedIn(post) {
+			delete(out, v)
+		}
+	}
+	return out
 }
 
 // recursionFactor bounds the number of recursive invocations. Structural
@@ -203,14 +348,17 @@ func (fa *fnAnalysis) recursionFactor() Bound {
 }
 
 // stmtCost bounds one statement subtree, one invocation deep: calls fold
-// in callee bounds, loops multiply their body by a trip bound.
-func (fa *fnAnalysis) stmtCost(s lang.Stmt) cost {
+// in callee bounds, loops multiply their body by a trip bound. ce is the
+// literal environment at the subtree's entry; blocks thread it forward so
+// a loop sees the initial values established just before it.
+func (fa *fnAnalysis) stmtCost(s lang.Stmt, ce constEnv) cost {
 	one := cost{steps: Const(1), allocs: Const(0)}
 	switch s := s.(type) {
 	case *lang.Block:
 		var c cost
 		for _, st := range s.Stmts {
-			c = c.add(fa.stmtCost(st))
+			c = c.add(fa.stmtCost(st, ce))
+			ce.afterStmt(st)
 		}
 		return c
 	case *lang.VarDecl:
@@ -222,29 +370,34 @@ func (fa *fnAnalysis) stmtCost(s lang.Stmt) cost {
 		return one.add(fa.exprCost(s.RHS))
 	case *lang.If:
 		c := one.add(fa.exprCost(s.Cond))
-		thenC := fa.stmtCost(s.Then)
+		thenC := fa.stmtCost(s.Then, ce.clone())
 		var elseC cost
 		if s.Else != nil {
-			elseC = fa.stmtCost(s.Else)
+			elseC = fa.stmtCost(s.Else, ce.clone())
 		}
 		return c.add(thenC.join(elseC))
 	case *lang.While:
-		iter := cost{steps: Const(1)}.add(fa.exprCost(s.Cond)).add(fa.stmtCost(s.Body))
-		return iter.mul(fa.tripBound(s.Cond, s.Body, nil))
+		trip := fa.tripBound(s.Cond, s.Body, nil, ce)
+		body := loopEntryEnv(ce, s.Body, nil)
+		iter := cost{steps: Const(1)}.add(fa.exprCost(s.Cond)).add(fa.stmtCost(s.Body, body))
+		return iter.mul(trip)
 	case *lang.For:
 		var c cost
 		if s.Init != nil {
-			c = fa.stmtCost(s.Init)
+			c = fa.stmtCost(s.Init, ce)
+			ce.afterStmt(s.Init)
 		}
+		trip := fa.tripBound(s.Cond, s.Body, s.Post, ce)
+		body := loopEntryEnv(ce, s.Body, s.Post)
 		iter := cost{steps: Const(1)}
 		if s.Cond != nil {
 			iter = iter.add(fa.exprCost(s.Cond))
 		}
-		iter = iter.add(fa.stmtCost(s.Body))
+		iter = iter.add(fa.stmtCost(s.Body, body))
 		if s.Post != nil {
-			iter = iter.add(fa.stmtCost(s.Post))
+			iter = iter.add(fa.stmtCost(s.Post, body))
 		}
-		return c.add(iter.mul(fa.tripBound(s.Cond, s.Body, s.Post)))
+		return c.add(iter.mul(trip))
 	case *lang.Return:
 		if s.E != nil {
 			return one.add(fa.exprCost(s.E))
@@ -282,15 +435,17 @@ func (fa *fnAnalysis) exprCost(e lang.Expr) cost {
 //
 //   - while(1) and other constant-true conditions: ⊤ (any exit is a
 //     return, which leaves the function, not just the loop).
-//   - Pointer chase: the condition tests a pointer v and every iteration
-//     rebinds v through one of its own fields (v = v->next): the loop
-//     walks a finite structure, bound |struct|.
+//   - Pointer chase: the condition tests a pointer v and EVERY path
+//     through one iteration rebinds v through one of its own fields
+//     (v = v->next): the loop walks a finite structure, bound |struct|.
 //   - Numeric induction: the condition compares a variable against a
-//     limit and the body/post steps it by a nonzero constant toward that
-//     limit: bound is the constant range when both endpoints are integer
-//     literals, symbolic in the limit otherwise.
-//   - Anything else: ⊤.
-func (fa *fnAnalysis) tripBound(cond lang.Expr, body lang.Stmt, post lang.Stmt) Bound {
+//     limit, every path through the body/post moves it by a nonzero net
+//     constant toward that limit, and the variable's initial value is a
+//     known literal: bound is the constant span over the guaranteed step
+//     when the limit is a literal too, symbolic in the limit otherwise.
+//   - Anything else: ⊤. Progress on merely some path proves nothing — a
+//     conditionally advancing loop can spin forever.
+func (fa *fnAnalysis) tripBound(cond lang.Expr, body lang.Stmt, post lang.Stmt, ce constEnv) Bound {
 	if cond == nil {
 		return Top()
 	}
@@ -303,80 +458,121 @@ func (fa *fnAnalysis) tripBound(cond lang.Expr, body lang.Stmt, post lang.Stmt) 
 	if b, ok := fa.pointerChase(cond, body, post); ok {
 		return b
 	}
-	if b, ok := fa.induction(cond, body, post); ok {
+	if b, ok := fa.induction(cond, body, post, ce); ok {
 		return b
 	}
 	return Top()
 }
 
 // pointerChase recognizes v-tests-and-advances loops: cond reads pointer
-// v and every path through body∪post ends with v = <chain rooted at v>.
+// v, every path through body∪post advances v along its own chain, and no
+// path rebinds v to anything else.
 func (fa *fnAnalysis) pointerChase(cond lang.Expr, body lang.Stmt, post lang.Stmt) (Bound, bool) {
 	for _, u := range cfg.ExprReads(cond) {
 		st, isPtr := fa.te[u.Name]
 		if !isPtr || st == "" {
 			continue
 		}
-		if fa.advances(u.Name, body) || fa.advances(u.Name, post) {
+		b, p := advanceOf(u.Name, body), advanceOf(u.Name, post)
+		if b == advBroken || p == advBroken {
+			continue
+		}
+		if b == advAlways || p == advAlways {
 			return Heap("|" + st + "|"), true
 		}
 	}
 	return Bound{}, false
 }
 
-// advances reports whether the subtree contains v = <Arrow chain rooted
-// at v> (possibly through a touch), the canonical list-walk step.
-func (fa *fnAnalysis) advances(v string, s lang.Stmt) bool {
+// advResult classifies what a subtree does to a chased pointer v.
+type advResult int
+
+const (
+	// advNone: no path is guaranteed to advance v, but none rebinds it
+	// off its own chain either (includes "v untouched").
+	advNone advResult = iota
+	// advAlways: every path through the subtree executes
+	// v = <Arrow chain rooted at v> (possibly through a touch).
+	advAlways
+	// advBroken: some path may rebind v to something that is not a chain
+	// rooted at v — no progress argument survives.
+	advBroken
+)
+
+// advanceOf computes the advance classification of v over a subtree. The
+// canonical list-walk step v = v->next is an advance; assignments under a
+// branch only count when both arms advance; assignments inside nested
+// loops never count as guaranteed (the loop may run zero times) but are
+// harmless if they, too, only advance v along its own chain.
+func advanceOf(v string, s lang.Stmt) advResult {
 	if s == nil {
-		return false
+		return advNone
 	}
-	found := false
-	var walk func(s lang.Stmt)
-	walk = func(s lang.Stmt) {
-		switch s := s.(type) {
-		case *lang.Block:
-			for _, st := range s.Stmts {
-				walk(st)
-			}
-		case *lang.Assign:
-			id, ok := s.LHS.(*lang.Ident)
-			if !ok || id.Name != v {
-				return
-			}
-			rhs := s.RHS
-			if t, ok := rhs.(*lang.Touch); ok {
-				rhs = t.E
-			}
-			if a, ok := rhs.(*lang.Arrow); ok {
-				if base, ok := chainBase(a); ok && base == v {
-					found = true
-				}
-			}
-		case *lang.If:
-			walk(s.Then)
-			if s.Else != nil {
-				walk(s.Else)
-			}
-		case *lang.While:
-			walk(s.Body)
-		case *lang.For:
-			if s.Init != nil {
-				walk(s.Init)
-			}
-			walk(s.Body)
-			if s.Post != nil {
-				walk(s.Post)
+	switch s := s.(type) {
+	case *lang.Block:
+		r := advNone
+		for _, st := range s.Stmts {
+			switch advanceOf(v, st) {
+			case advBroken:
+				return advBroken
+			case advAlways:
+				r = advAlways
 			}
 		}
+		return r
+	case *lang.VarDecl:
+		if s.Name == v {
+			return advBroken
+		}
+		return advNone
+	case *lang.Assign:
+		id, ok := s.LHS.(*lang.Ident)
+		if !ok || id.Name != v {
+			return advNone
+		}
+		rhs := s.RHS
+		if t, ok := rhs.(*lang.Touch); ok {
+			rhs = t.E
+		}
+		if a, ok := rhs.(*lang.Arrow); ok {
+			if base, ok := chainBase(a); ok && base == v {
+				return advAlways
+			}
+		}
+		return advBroken
+	case *lang.If:
+		t := advanceOf(v, s.Then)
+		e := advNone
+		if s.Else != nil {
+			e = advanceOf(v, s.Else)
+		}
+		if t == advBroken || e == advBroken {
+			return advBroken
+		}
+		if t == advAlways && e == advAlways {
+			return advAlways
+		}
+		return advNone
+	case *lang.While:
+		if advanceOf(v, s.Body) == advBroken {
+			return advBroken
+		}
+		return advNone
+	case *lang.For:
+		for _, p := range []lang.Stmt{s.Init, s.Body, s.Post} {
+			if p != nil && advanceOf(v, p) == advBroken {
+				return advBroken
+			}
+		}
+		return advNone
 	}
-	walk(s)
-	return found
+	return advNone
 }
 
-// induction recognizes counted loops: cond is v < limit (or <=, >, >=)
-// and body∪post contains v = v ± k for a constant k moving toward the
-// limit.
-func (fa *fnAnalysis) induction(cond lang.Expr, body lang.Stmt, post lang.Stmt) (Bound, bool) {
+// induction recognizes counted loops: cond is v < limit (or <=, >, >=),
+// every path through body∪post changes v by a net constant moving toward
+// the limit, and ce knows v's value at loop entry.
+func (fa *fnAnalysis) induction(cond lang.Expr, body lang.Stmt, post lang.Stmt, ce constEnv) (Bound, bool) {
 	b, ok := cond.(*lang.Binary)
 	if !ok {
 		return Bound{}, false
@@ -403,102 +599,166 @@ func (fa *fnAnalysis) induction(cond lang.Expr, body lang.Stmt, post lang.Stmt) 
 	if _, isPtr := fa.te[v]; isPtr {
 		return Bound{}, false
 	}
-	step, ok := stepOf(v, body)
+	bl, bh, ok := stepInterval(v, body)
 	if !ok {
-		step, ok = stepOf(v, post)
-	}
-	if !ok || step == 0 {
 		return Bound{}, false
 	}
-	up := step > 0
+	pl, ph, ok := stepInterval(v, post)
+	if !ok {
+		return Bound{}, false
+	}
+	lo, okLo := addOvf(bl, pl)
+	hi, okHi := addOvf(bh, ph)
+	if !okLo || !okHi {
+		return Bound{}, false
+	}
+	// Guaranteed progress per iteration is the interval endpoint nearest
+	// the limit's far side; every path must move strictly toward it.
+	var mag int64
 	switch op {
 	case "<", "<=":
-		if !up {
+		if lo <= 0 {
 			return Bound{}, false
 		}
+		mag = lo
 	case ">", ">=":
-		if up {
+		if hi >= 0 {
 			return Bound{}, false
 		}
+		mag = -hi
 	default:
 		return Bound{}, false
 	}
-	mag := step
-	if mag < 0 {
-		mag = -mag
+	up := op == "<" || op == "<="
+	init, known := ce[v]
+	if !known {
+		// The limit alone bounds nothing: a loop counting up to 10 from
+		// an unknown start can run any number of iterations.
+		return Bound{}, false
 	}
 	if lim, ok := limit.(*lang.IntLit); ok {
-		span := lim.V
-		if span < 0 {
-			span = -span
+		var span int64
+		var sok bool
+		if up {
+			span, sok = subOvf(lim.V, init)
+		} else {
+			span, sok = subOvf(init, lim.V)
 		}
-		// Without the initial value the literal span over the step is the
-		// honest bound only for loops counting from zero toward the
-		// limit; otherwise stay symbolic in the limit.
+		if !sok {
+			return Bound{}, false
+		}
+		if span < 0 {
+			return Const(0), true
+		}
 		return Const(span/mag + 1), true
 	}
 	if id, ok := limit.(*lang.Ident); ok {
-		if _, isPtr := fa.te[id.Name]; !isPtr {
-			if mag == 1 {
-				return Sym(id.Name), true
-			}
-			return Sym(fmt.Sprintf("%s/%d", id.Name, mag)), true
+		if _, isPtr := fa.te[id.Name]; isPtr {
+			return Bound{}, false
 		}
+		var span string
+		switch {
+		case up && init == 0:
+			span = id.Name
+		case up && init > 0:
+			span = fmt.Sprintf("(%s-%d)", id.Name, init)
+		case up:
+			span = fmt.Sprintf("(%s+%d)", id.Name, -init)
+		default:
+			span = fmt.Sprintf("(%d-%s)", init, id.Name)
+		}
+		if mag != 1 {
+			span += fmt.Sprintf("/%d", mag)
+		}
+		// Strict comparison with unit step is exact; everything else pays
+		// one iteration for the flooring / the inclusive endpoint.
+		if mag != 1 || op == "<=" || op == ">=" {
+			span += "+1"
+		}
+		return Sym(span), true
 	}
 	return Bound{}, false
 }
 
-// stepOf finds v = v + k / v = v - k in a subtree and returns the signed
-// constant step.
-func stepOf(v string, s lang.Stmt) (int64, bool) {
+// stepInterval bounds the net change one execution of the subtree applies
+// to v as a [lo, hi] interval. ok is false when the subtree may assign v
+// in any form other than v = v ± <literal> — or steps it inside a nested
+// loop, whose iteration count is unknown here — since no per-iteration
+// progress guarantee survives such an assignment.
+func stepInterval(v string, s lang.Stmt) (lo, hi int64, ok bool) {
 	if s == nil {
-		return 0, false
+		return 0, 0, true
 	}
-	var step int64
-	found := false
-	var walk func(s lang.Stmt)
-	walk = func(s lang.Stmt) {
-		switch s := s.(type) {
-		case *lang.Block:
-			for _, st := range s.Stmts {
-				walk(st)
+	switch s := s.(type) {
+	case *lang.Block:
+		for _, st := range s.Stmts {
+			l, h, o := stepInterval(v, st)
+			if !o {
+				return 0, 0, false
 			}
-		case *lang.Assign:
-			id, ok := s.LHS.(*lang.Ident)
-			if !ok || id.Name != v {
-				return
+			if lo, o = addOvf(lo, l); !o {
+				return 0, 0, false
 			}
-			b, ok := s.RHS.(*lang.Binary)
-			if !ok || (b.Op != "+" && b.Op != "-") {
-				return
-			}
-			base, bok := b.L.(*lang.Ident)
-			k, kok := b.R.(*lang.IntLit)
-			if !bok || !kok || base.Name != v {
-				return
-			}
-			step = k.V
-			if b.Op == "-" {
-				step = -step
-			}
-			found = true
-		case *lang.If:
-			walk(s.Then)
-			if s.Else != nil {
-				walk(s.Else)
-			}
-		case *lang.While:
-			walk(s.Body)
-		case *lang.For:
-			if s.Init != nil {
-				walk(s.Init)
-			}
-			walk(s.Body)
-			if s.Post != nil {
-				walk(s.Post)
+			if hi, o = addOvf(hi, h); !o {
+				return 0, 0, false
 			}
 		}
+		return lo, hi, true
+	case *lang.VarDecl:
+		if s.Name == v {
+			return 0, 0, false
+		}
+		return 0, 0, true
+	case *lang.Assign:
+		id, isIdent := s.LHS.(*lang.Ident)
+		if !isIdent || id.Name != v {
+			return 0, 0, true
+		}
+		b, isBin := s.RHS.(*lang.Binary)
+		if !isBin || (b.Op != "+" && b.Op != "-") {
+			return 0, 0, false
+		}
+		base, bok := b.L.(*lang.Ident)
+		k, kok := b.R.(*lang.IntLit)
+		if !bok || !kok || base.Name != v {
+			return 0, 0, false
+		}
+		step := k.V
+		if b.Op == "-" {
+			step = -step
+		}
+		return step, step, true
+	case *lang.If:
+		tl, th, o := stepInterval(v, s.Then)
+		if !o {
+			return 0, 0, false
+		}
+		el, eh := int64(0), int64(0)
+		if s.Else != nil {
+			if el, eh, o = stepInterval(v, s.Else); !o {
+				return 0, 0, false
+			}
+		}
+		return min64(tl, el), max64(th, eh), true
+	case *lang.While, *lang.For:
+		if assignedIn(s)[v] {
+			return 0, 0, false
+		}
+		return 0, 0, true
 	}
-	walk(s)
-	return step, found
+	return 0, 0, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -238,10 +238,21 @@ func paramNames(fn *lang.FuncDecl) []string {
 	return out
 }
 
-// equalEffects compares the fixpoint-relevant parts of two summaries.
+// equalEffects compares the fixpoint-relevant parts of two summaries,
+// including the recorded stores' contents: downstream passes read
+// storeRec.baseAV, so a store whose base alias value is still moving must
+// keep the fixpoint loop running.
 func equalEffects(a, b *Summary) bool {
-	return a.EffectsLine() == b.EffectsLine() && a.ret == b.ret &&
-		len(a.stores) == len(b.stores)
+	if a.EffectsLine() != b.EffectsLine() || a.ret != b.ret ||
+		len(a.stores) != len(b.stores) {
+		return false
+	}
+	for i := range a.stores {
+		if a.stores[i] != b.stores[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // sccs returns the strongly connected components of the defined-function

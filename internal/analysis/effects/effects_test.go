@@ -229,6 +229,136 @@ int fixed() {
 	}
 }
 
+// TestInductionNeedsKnownStart: a literal loop limit bounds nothing when
+// the counter's starting value is unknown — i starts a million below the
+// limit here, and the old analysis admitted it as ~11 steps.
+func TestInductionNeedsKnownStart(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int creep(int n) {
+  int i;
+  i = 0 - 1000000;
+  while (i < 10) {
+    i = i + 1;
+  }
+  return i;
+}
+`)
+	if s := r.Summary("creep"); !s.Steps.IsTop() {
+		t.Errorf("creep Steps = %s, want ⊤ (unknown initial value)", s.Steps)
+	}
+}
+
+// TestConditionalAdvanceTops: a pointer chase that only advances on some
+// paths can spin forever, so it gets no heap bound.
+func TestConditionalAdvanceTops(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; struct node *next; };
+void stall(struct node *p, int c) {
+  while (p) {
+    if (c) p = p->next;
+    c = 0;
+  }
+}
+`)
+	if s := r.Summary("stall"); !s.Steps.IsTop() {
+		t.Errorf("stall Steps = %s, want ⊤ (advance only on some paths)", s.Steps)
+	}
+}
+
+// TestConflictingStepsTop: branch-dependent steps whose net change may be
+// zero or negative prove no progress toward the limit.
+func TestConflictingStepsTop(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int wobble(int n) {
+  int i;
+  i = 0;
+  while (i < 10) {
+    if (n) i = i - 1;
+    if (n) i = i + 1;
+  }
+  return i;
+}
+`)
+	if s := r.Summary("wobble"); !s.Steps.IsTop() {
+		t.Errorf("wobble Steps = %s, want ⊤ (net step may be zero)", s.Steps)
+	}
+}
+
+// TestEveryPathAdvanceKeepsBound: the bisort shape — both branches of the
+// body advance the chased pointer — still earns its heap bound.
+func TestEveryPathAdvanceKeepsBound(t *testing.T) {
+	r := analyze(t, `
+struct tree { int v; struct tree *left; struct tree *right; };
+int descend(struct tree *pl, int dir) {
+  while (pl) {
+    if (pl->v == dir) {
+      pl = pl->left;
+    } else {
+      pl = pl->right;
+    }
+  }
+  return dir;
+}
+`)
+	if s := r.Summary("descend"); s.Steps.Class != BHeap {
+		t.Errorf("descend Steps = %s, want heap-proportional", s.Steps)
+	}
+}
+
+// TestDownwardCountedLoop: a known start above a literal limit with a
+// negative step is a constant bound.
+func TestDownwardCountedLoop(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int drain(int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 10; i > 0; i = i - 1) {
+    s = s + i;
+  }
+  return s;
+}
+`)
+	s := r.Summary("drain")
+	if s.Steps.Class != BConst {
+		t.Errorf("drain Steps = %s, want constant", s.Steps)
+	}
+}
+
+// TestNestedLoopOverflowSaturates: bound arithmetic that overflows int64
+// must degrade to ⊤, never wrap to a small or negative constant that
+// would slip under an admission budget.
+func TestNestedLoopOverflowSaturates(t *testing.T) {
+	r := analyze(t, `
+struct node { int v; };
+int burn() {
+  int i;
+  int j;
+  int k;
+  int s;
+  s = 0;
+  for (i = 0; i < 4000000000; i = i + 1) {
+    for (j = 0; j < 4000000000; j = j + 1) {
+      for (k = 0; k < 4000000000; k = k + 1) {
+        s = s + 1;
+      }
+    }
+  }
+  return s;
+}
+`)
+	s := r.Summary("burn")
+	if s.Steps.Class == BConst && s.Steps.N <= 0 {
+		t.Fatalf("burn Steps = %s: overflow wrapped instead of saturating", s.Steps)
+	}
+	if !s.Steps.IsTop() {
+		t.Errorf("burn Steps = %s, want ⊤ (overflowing constant product)", s.Steps)
+	}
+}
+
 func TestUnboundedLoopTops(t *testing.T) {
 	r := analyze(t, `
 struct node { int v; };

@@ -2,15 +2,16 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt test race fuzz oldenvet lint analyze bench report perfgate serve load servesmoke
+.PHONY: check build vet fmt static test race fuzz oldenvet lint analyze phases bench report perfgate serve load servesmoke update-goldens
 
 # Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
 # real fuzzing session.
 FUZZTIME ?= 10s
 
-# The full gate CI runs: build, vet, formatting, tests, contract checks,
-# the mini-C lints over every kernel and example source, and a fuzz smoke.
-check: build vet fmt test oldenvet lint fuzz
+# The full gate CI runs: build, vet, formatting, third-party static
+# analysis, tests, contract checks, the mini-C lints over every kernel
+# and example source, and a fuzz smoke.
+check: build vet fmt static test oldenvet lint fuzz
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,24 @@ fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Third-party static analysis at a zero-finding gate. The tools are not
+# vendored; when a box doesn't have them the target says so and passes
+# (CI installs the pinned versions below and so always runs both).
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+static:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "static: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "static: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
 test:
@@ -50,7 +69,7 @@ BASELINE_PROCS ?= 4
 PERFGATE_DIR ?= /tmp/olden-perfgate
 
 bench:
-	$(GO) run ./cmd/oldenbench -update-baselines -maxprocs $(BASELINE_PROCS)
+	$(GO) run ./cmd/oldenbench -update -maxprocs $(BASELINE_PROCS)
 
 report:
 	$(GO) run ./cmd/oldenreport
@@ -76,6 +95,18 @@ load:
 servesmoke:
 	bash scripts/serve_smoke.sh
 
+# One flag, one verb: every golden-pinning test in the tree takes
+# `-update` to rewrite its files from the current build (lint goldens,
+# trace-digest goldens, the oldenc -analyze/-phases goldens), and the
+# committed BENCH_<name>.json baselines are re-pinned by `oldenbench
+# -update` (= `make bench`, kept separate because moving cycle counts is
+# a reviewed perf decision, not a golden refresh). Run this after an
+# intentional output change, then review and commit the diff.
+update-goldens:
+	$(GO) test ./internal/core -run 'TestLintGolden' -update
+	$(GO) test ./internal/bench -run 'TestTraceDigestGoldens' -update
+	$(GO) test ./cmd/oldenc -run 'TestAnalyzeGoldens|TestPhasesGoldens' -update
+
 # oldenc -lint exits 1 only on error-severity diagnostics; the known
 # warnings (figure3's dead store, the figure5/barneshut demotions) pass.
 lint:
@@ -98,4 +129,18 @@ analyze:
 	@for f in examples/minic/*.c; do \
 		echo "== $$f"; \
 		$(GO) run ./cmd/oldenc -analyze $$f || exit 1; \
+	done
+
+# Phase plans over the same sources: ordered phase chains, per-phase
+# footprints, the scheme-invariant prefix and the digest chain the
+# server's phase cache keys on. `-json` of the same run is what CI
+# uploads as the phase-plans artifact.
+phases:
+	@for b in $(BENCHES); do \
+		echo "== $$b"; \
+		$(GO) run ./cmd/oldenc -phases -bench $$b || exit 1; \
+	done
+	@for f in examples/minic/*.c; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/oldenc -phases $$f || exit 1; \
 	done

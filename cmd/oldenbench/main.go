@@ -21,7 +21,7 @@
 //
 // Persistent records and the perf gate:
 //
-//	oldenbench -update-baselines -maxprocs 4   # re-pin BENCH_<name>.json in .
+//	oldenbench -update -maxprocs 4             # re-pin BENCH_<name>.json in .
 //	oldenbench -record out/ -maxprocs 4        # same suite, elsewhere
 //	oldenbench -table 2 -json                  # stream RunRecord JSON to stdout
 //
@@ -75,7 +75,7 @@ func main() {
 	profile := flag.Bool("profile", false, "with -bench: print per-site and per-page profiles")
 	jsonOut := flag.Bool("json", false, "emit one RunRecord JSON object per benchmark run on stdout (human output moves to stderr)")
 	recordDir := flag.String("record", "", "run the pinned record suite at -maxprocs/-scale and write BENCH_<name>.json files into this directory")
-	update := flag.Bool("update-baselines", false, "shorthand for -record . : re-pin the committed baselines")
+	update := flag.Bool("update", false, "shorthand for -record . : re-pin the committed BENCH_<name>.json baselines")
 	list := flag.Bool("list", false, "print the machine-readable benchmark catalog (names, schemes, modes, default params) as JSON and exit")
 	flag.Parse()
 
@@ -145,7 +145,7 @@ func main() {
 	case *benchName != "":
 		runTraced(out, *benchName, *maxProcs, *scale, kind, *traceOut, *profile)
 	default:
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2, -curve <bench>, -bench <bench>, -record <dir> or -update-baselines")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1|2|3, -figure 2, -curve <bench>, -bench <bench>, -record <dir> or -update")
 		flag.Usage()
 		os.Exit(2)
 	}

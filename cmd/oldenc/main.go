@@ -10,6 +10,8 @@
 //	oldenc -lint -json prog.c # diagnostics in the oldenvet -json shape
 //	oldenc -analyze prog.c    # effect summaries, cost bounds, certificate
 //	oldenc -analyze -json prog.c
+//	oldenc -phases prog.c     # phase plan: slicing, footprints, invariance
+//	oldenc -phases -json -bench em3d
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/effects"
+	"repro/internal/analysis/phases"
+	"repro/internal/bench"
 	"repro/internal/bench/barneshut"
 	"repro/internal/bench/bisort"
 	"repro/internal/bench/em3d"
@@ -63,7 +67,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	interproc := fs.Bool("interprocedural", false, "enable the return-value path extension (the paper's future work)")
 	lint := fs.Bool("lint", false, "emit lint diagnostics instead of the analysis report (exit 1 on errors)")
 	analyzeF := fs.Bool("analyze", false, "emit interprocedural effect summaries, cost bounds and the cacheability certificate")
-	jsonOut := fs.Bool("json", false, "with -lint or -analyze, emit findings as JSON (the oldenvet shape)")
+	phasesF := fs.Bool("phases", false, "emit the phase plan: slicing, footprints and scheme-invariance verdicts")
+	jsonOut := fs.Bool("json", false, "with -lint, -analyze or -phases, emit the machine-readable form")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,15 +76,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "oldenc: "+format+"\n", fargs...)
 		return 1
 	}
-	if *jsonOut && !*lint && !*analyzeF {
-		return fail("-json requires -lint or -analyze")
+	modes := 0
+	for _, on := range []bool{*lint, *analyzeF, *phasesF} {
+		if on {
+			modes++
+		}
 	}
-	if *lint && *analyzeF {
-		return fail("-lint and -analyze are mutually exclusive")
+	if modes > 1 {
+		return fail("-lint, -analyze and -phases are mutually exclusive")
+	}
+	if *jsonOut && modes == 0 {
+		return fail("-json requires -lint, -analyze or -phases")
 	}
 
 	var src string
 	file := ""
+	includeBuild := false
 	switch {
 	case *benchName != "":
 		s, ok := kernels[*benchName]
@@ -88,6 +100,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		src = s
 		file = "bench:" + *benchName
+		// A benchmark kernel runs under the harness, whose build happens
+		// before virtual time starts; phased benchmarks expose it as a
+		// synthetic invariant phase.
+		if info, registered := bench.Get(*benchName); registered {
+			includeBuild = info.Phased != nil
+		}
 	case fs.NArg() == 1 && fs.Arg(0) == "-":
 		data, err := io.ReadAll(stdin)
 		if err != nil {
@@ -103,7 +121,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		src = string(data)
 		file = fs.Arg(0)
 	default:
-		fmt.Fprintln(stderr, "usage: oldenc [-threshold N] [-affinity N] [-lint | -analyze] [-json] <file.c | - | -bench name>")
+		fmt.Fprintln(stderr, "usage: oldenc [-threshold N] [-affinity N] [-lint | -analyze | -phases] [-json] <file.c | - | -bench name>")
 		return 2
 	}
 
@@ -119,6 +137,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail("%v", err)
 		}
 		return writeAnalysis(stdout, stderr, res, file, *jsonOut)
+	}
+
+	if *phasesF {
+		res, err := effects.AnalyzeSource(src, params)
+		if err != nil {
+			return fail("%v", err)
+		}
+		plan := phases.Compute(res, phases.Options{IncludeBuild: includeBuild})
+		return writePhases(stdout, stderr, plan, *jsonOut)
 	}
 
 	report, err := olden.AnalyzeWith(src, params)
@@ -212,6 +239,22 @@ func writeAnalysis(stdout, stderr io.Writer, res *effects.Result, file string, j
 		fmt.Fprintf(stdout, "certificate: not cacheable: %s digest=%s\n",
 			joinComma(cert.Reasons), cert.Digest)
 	}
+	return 0
+}
+
+// writePhases prints the phase plan; with jsonOut it emits the PhasePlan
+// certificate itself — the machine-readable artifact CI uploads.
+func writePhases(stdout, stderr io.Writer, plan *phases.Plan, jsonOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			fmt.Fprintf(stderr, "oldenc: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, plan)
 	return 0
 }
 

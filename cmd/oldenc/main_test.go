@@ -10,10 +10,15 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/phases"
+	"repro/internal/bench"
 )
 
-var updateAnalyze = flag.Bool("update-analyze", false,
-	"rewrite testdata/analyze_*.golden from the current -analyze output")
+// The repo-wide convention: every golden-pinning test package takes
+// -update to regenerate its goldens (see also internal/core and
+// internal/bench), surfaced as `make update-goldens`.
+var update = flag.Bool("update", false,
+	"rewrite testdata/*.golden from the current tool output")
 
 // runOldenc drives the command through its testable seam.
 func runOldenc(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
@@ -23,12 +28,35 @@ func runOldenc(t *testing.T, stdin string, args ...string) (stdout, stderr strin
 	return out.String(), errb.String(), code
 }
 
+// checkGolden compares tool output against testdata/<file>, rewriting it
+// under -update.
+func checkGolden(t *testing.T, file, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", file)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output changed for %s:\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
 // TestAnalyzeGoldens pins the -analyze report over the paper figures and
 // the hostile fixture. The output is part of the tool's contract — the
 // effect lines feed certificate digests — so changes must be reviewed and
 // regenerated deliberately:
 //
-//	go test ./cmd/oldenc -run TestAnalyzeGoldens -update-analyze
+//	go test ./cmd/oldenc -run TestAnalyzeGoldens -update
 func TestAnalyzeGoldens(t *testing.T) {
 	for _, name := range []string{"figure3", "figure4", "figure5", "hostile"} {
 		t.Run(name, func(t *testing.T) {
@@ -37,24 +65,24 @@ func TestAnalyzeGoldens(t *testing.T) {
 			if code != 0 {
 				t.Fatalf("exit %d, stderr: %s", code, stderr)
 			}
-			golden := filepath.Join("testdata", "analyze_"+name+".golden")
-			if *updateAnalyze {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
+			checkGolden(t, "analyze_"+name+".golden", stdout)
+		})
+	}
+}
+
+// TestPhasesGoldens pins the -phases plan over the same fixtures: the
+// slicing, per-phase footprints, invariance verdicts and the digest
+// chain are all part of the PhasePlan certificate the server's phase
+// cache keys on, so any drift must be deliberate.
+func TestPhasesGoldens(t *testing.T) {
+	for _, name := range []string{"figure3", "figure4", "figure5", "hostile"} {
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join("..", "..", "examples", "minic", name+".c")
+			stdout, stderr, code := runOldenc(t, "", "-phases", src)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr)
 			}
-			want, err := os.ReadFile(golden)
-			if err != nil {
-				t.Fatalf("%v (regenerate with -update-analyze)", err)
-			}
-			if stdout != string(want) {
-				t.Errorf("analyze output changed for %s:\ngot:\n%s\nwant:\n%s",
-					name, stdout, want)
-			}
+			checkGolden(t, "phases_"+name+".golden", stdout)
 		})
 	}
 }
@@ -212,5 +240,69 @@ func TestAnalyzeBenchKernels(t *testing.T) {
 		if !strings.Contains(stdout, "certificate: ") {
 			t.Errorf("%s: no certificate in output:\n%s", name, stdout)
 		}
+	}
+}
+
+// TestPhasesJSON decodes the -phases -json certificate for the hostile
+// fixture: refused, machine-readable reasons, and a digest on every
+// phase so downstream tooling can key on the chain.
+func TestPhasesJSON(t *testing.T) {
+	src := filepath.Join("..", "..", "examples", "minic", "hostile.c")
+	stdout, stderr, code := runOldenc(t, "", "-phases", "-json", src)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var plan phases.Plan
+	if err := json.Unmarshal([]byte(stdout), &plan); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout)
+	}
+	if !plan.Refused || len(plan.Reasons) == 0 {
+		t.Fatalf("hostile fixture must be refused with reasons: %+v", plan)
+	}
+	for _, r := range plan.Reasons {
+		if !strings.Contains(r, ":") && r != "no-entry-function" {
+			t.Errorf("refusal reason %q is not machine-readable", r)
+		}
+	}
+	for i, ph := range plan.Phases {
+		if ph.Digest == "" || ph.Chain == "" {
+			t.Errorf("phase %d lacks digest/chain: %+v", i, ph)
+		}
+	}
+}
+
+// TestPhasesBenchKernels smoke-runs -phases over every pinned kernel and
+// checks the phased benchmarks expose the synthetic build phase.
+func TestPhasesBenchKernels(t *testing.T) {
+	for name := range kernels {
+		stdout, stderr, code := runOldenc(t, "", "-phases", "-json", "-bench", name)
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr: %s", name, code, stderr)
+			continue
+		}
+		var plan phases.Plan
+		if err := json.Unmarshal([]byte(stdout), &plan); err != nil {
+			t.Errorf("%s: bad JSON: %v", name, err)
+			continue
+		}
+		info, ok := bench.Get(name)
+		if !ok {
+			t.Errorf("%s: not registered", name)
+			continue
+		}
+		hasBuild := len(plan.Phases) > 0 && plan.Phases[0].Kind == phases.KindBuild
+		if want := info.Phased != nil; hasBuild != want {
+			t.Errorf("%s: build phase present=%t, want %t", name, hasBuild, want)
+		}
+	}
+}
+
+// TestModeExclusivity pins the flag contract.
+func TestModeExclusivity(t *testing.T) {
+	if _, _, code := runOldenc(t, "", "-lint", "-phases", "-bench", "treeadd"); code != 1 {
+		t.Errorf("-lint -phases: exit %d, want 1", code)
+	}
+	if _, _, code := runOldenc(t, "", "-json", "-bench", "treeadd"); code != 1 {
+		t.Errorf("bare -json: exit %d, want 1", code)
 	}
 }

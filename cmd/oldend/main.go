@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /run         {"benchmark":"treeadd","procs":4,"scheme":"local"}
+//	POST /batch       {"runs":[...]} — a config set, deduped against both caches
 //	GET  /benchmarks  machine-readable catalog (same bytes as oldenbench -list)
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     liveness
@@ -17,7 +18,10 @@
 // graceful drain: readiness fails, in-flight and queued runs complete,
 // then the process exits. Repeating a run configuration returns the
 // memoized RunRecord byte-identically — sound because the simulator is
-// deterministic (PR 3's digest goldens).
+// deterministic (PR 3's digest goldens). Below the result cache sits the
+// phase cache: build-phase boundaries whose static phase plan certifies
+// scheme-invariance are memoized once and restored for every scheme and
+// mode (the X-Oldend-Phase-Cache header reports hit/miss/none).
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 4, "worker pool size (concurrent simulations)")
 	queue := flag.Int("queue", 64, "admission queue depth; beyond this requests shed with 429")
 	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries (negative disables memoization)")
+	phaseEntries := flag.Int("phase-cache", 64, "phase cache capacity: memoized build-phase boundaries shared across schemes (negative disables)")
 	deadline := flag.Duration("deadline", 60*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight runs")
@@ -56,11 +61,12 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheEntries,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheEntries:      *cacheEntries,
+		PhaseCacheEntries: *phaseEntries,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
 	}
 	if !*quiet {
 		cfg.AccessLog = server.NewAccessLogger(os.Stderr)
@@ -73,8 +79,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "oldend: listening on %s (workers=%d queue=%d cache=%d)\n",
-		*addr, *workers, *queue, *cacheEntries)
+	fmt.Fprintf(os.Stderr, "oldend: listening on %s (workers=%d queue=%d cache=%d phase-cache=%d)\n",
+		*addr, *workers, *queue, *cacheEntries, *phaseEntries)
 
 	select {
 	case err := <-errc:

@@ -19,6 +19,12 @@
 //
 //	oldenload -mix "treeadd:4:64,em3d:2:64" -scheme global -no-cache
 //
+// A scheme sweep expands every mix entry across a set of coherence
+// schemes — the shape that exercises the server's phase cache, which
+// shares one build-phase boundary across schemes:
+//
+//	oldenload -mix "em3d:2:64" -schemes local,global,bilateral -no-cache
+//
 // Exit status: 0 when every SLO holds and no request got a 5xx; 1 on any
 // breach; 2 on usage errors. 429 shedding is the admission-control
 // contract working, not an error — it is reported separately and only
@@ -59,6 +65,7 @@ import (
 type sample struct {
 	status  int // 0 = transport error
 	cache   string
+	phase   string
 	latency time.Duration
 }
 
@@ -76,6 +83,8 @@ type Report struct {
 	Shed        int64            `json:"shed_429"`
 	Failed5xx   int64            `json:"failed_5xx"`
 	CacheHits   int64            `json:"cache_hits"`
+	PhaseHits   int64            `json:"phase_cache_hits"`
+	PhaseMisses int64            `json:"phase_cache_misses"`
 	Throughput  float64          `json:"throughput_rps"` // successful responses per second
 	Latency     LatencyMS        `json:"latency_ms"`     // over successful responses
 	Breaches    []string         `json:"slo_breaches,omitempty"`
@@ -98,6 +107,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 512, "open loop: cap on in-flight requests (beyond it arrivals drop client-side)")
 	mixSpec := flag.String("mix", "", "comma-separated bench[:procs[:scale]] request mix (default: first four catalog benchmarks at scale 64)")
 	scheme := flag.String("scheme", "local", "coherence scheme for every request")
+	schemes := flag.String("schemes", "", "comma-separated scheme sweep: every mix entry expands across all of them (overrides -scheme)")
 	mode := flag.String("mode", "heuristic", "mechanism mode for every request")
 	noCache := flag.Bool("no-cache", false, "bypass the server's result cache (every request simulates)")
 	deadlineMS := flag.Int64("deadline-ms", 0, "per-request server deadline (0 = server default)")
@@ -111,7 +121,11 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file")
 	flag.Parse()
 
-	mix, err := parseMix(*mixSpec, *scheme, *mode, *noCache, *deadlineMS)
+	schemeList := []string{*scheme}
+	if *schemes != "" {
+		schemeList = strings.Split(*schemes, ",")
+	}
+	mix, err := parseMix(*mixSpec, schemeList, *mode, *noCache, *deadlineMS)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oldenload: %v\n", err)
 		os.Exit(2)
@@ -140,7 +154,12 @@ func main() {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		recordSample(sample{status: resp.StatusCode, cache: resp.Header.Get("X-Oldend-Cache"), latency: lat})
+		recordSample(sample{
+			status:  resp.StatusCode,
+			cache:   resp.Header.Get("X-Oldend-Cache"),
+			phase:   resp.Header.Get("X-Oldend-Phase-Cache"),
+			latency: lat,
+		})
 	}
 
 	loopMode := "closed"
@@ -206,10 +225,11 @@ func main() {
 	}
 }
 
-// parseMix compiles the mix spec into ready-to-send request bodies,
-// validating every field against the shared catalog so this binary can
-// never ask for a configuration oldend does not advertise.
-func parseMix(spec, scheme, mode string, noCache bool, deadlineMS int64) ([][]byte, error) {
+// parseMix compiles the mix spec into ready-to-send request bodies — one
+// per (mix entry, scheme) pair — validating every field against the
+// shared catalog so this binary can never ask for a configuration oldend
+// does not advertise.
+func parseMix(spec string, schemes []string, mode string, noCache bool, deadlineMS int64) ([][]byte, error) {
 	catalog := bench.Catalog()
 	byName := map[string]bench.CatalogEntry{}
 	for _, e := range catalog {
@@ -247,32 +267,36 @@ func parseMix(spec, scheme, mode string, noCache bool, deadlineMS int64) ([][]by
 				return nil, fmt.Errorf("bad scale in mix entry %q", item)
 			}
 		}
-		schemeOK, modeOK := false, false
-		for _, s := range e.Schemes {
-			schemeOK = schemeOK || s == scheme
-		}
+		modeOK := false
 		for _, m := range e.Modes {
 			modeOK = modeOK || m == mode
-		}
-		if !schemeOK {
-			return nil, fmt.Errorf("scheme %q not in catalog (%s)", scheme, strings.Join(e.Schemes, ", "))
 		}
 		if !modeOK {
 			return nil, fmt.Errorf("mode %q not in catalog (%s)", mode, strings.Join(e.Modes, ", "))
 		}
-		body, err := json.Marshal(map[string]any{
-			"benchmark":   e.Name,
-			"procs":       procs,
-			"scale":       scale,
-			"scheme":      scheme,
-			"mode":        mode,
-			"no_cache":    noCache,
-			"deadline_ms": deadlineMS,
-		})
-		if err != nil {
-			return nil, err
+		for _, scheme := range schemes {
+			scheme = strings.TrimSpace(scheme)
+			schemeOK := false
+			for _, s := range e.Schemes {
+				schemeOK = schemeOK || s == scheme
+			}
+			if !schemeOK {
+				return nil, fmt.Errorf("scheme %q not in catalog (%s)", scheme, strings.Join(e.Schemes, ", "))
+			}
+			body, err := json.Marshal(map[string]any{
+				"benchmark":   e.Name,
+				"procs":       procs,
+				"scale":       scale,
+				"scheme":      scheme,
+				"mode":        mode,
+				"no_cache":    noCache,
+				"deadline_ms": deadlineMS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mix = append(mix, body)
 		}
-		mix = append(mix, body)
 	}
 	return mix, nil
 }
@@ -284,9 +308,10 @@ func mixNames(mix [][]byte) []string {
 			Benchmark string `json:"benchmark"`
 			Procs     int    `json:"procs"`
 			Scale     int    `json:"scale"`
+			Scheme    string `json:"scheme"`
 		}
 		_ = json.Unmarshal(b, &m)
-		names = append(names, fmt.Sprintf("%s:%d:%d", m.Benchmark, m.Procs, m.Scale))
+		names = append(names, fmt.Sprintf("%s:%d:%d:%s", m.Benchmark, m.Procs, m.Scale, m.Scheme))
 	}
 	return names
 }
@@ -314,6 +339,12 @@ func summarize(samples []sample, mode, url string, dur time.Duration, mix []stri
 			okLats = append(okLats, s.latency)
 			if s.cache == "hit" {
 				rep.CacheHits++
+			}
+			switch s.phase {
+			case "hit":
+				rep.PhaseHits++
+			case "miss":
+				rep.PhaseMisses++
 			}
 		case s.status == http.StatusTooManyRequests:
 			rep.Shed++
@@ -414,6 +445,10 @@ func formatReport(r Report) string {
 		fmt.Fprintf(&sb, "  status %s: %d\n", c, r.ByStatus[c])
 	}
 	fmt.Fprintf(&sb, "cache hits: %d (%.1f%% of ok)\n", r.CacheHits, pct(r.CacheHits, r.Succeeded))
+	if r.PhaseHits+r.PhaseMisses > 0 {
+		fmt.Fprintf(&sb, "phase cache: %d hits / %d builds (%.1f%% hit rate)\n",
+			r.PhaseHits, r.PhaseMisses, pct(r.PhaseHits, r.PhaseHits+r.PhaseMisses))
+	}
 	fmt.Fprintf(&sb, "throughput: %.1f ok/s\n", r.Throughput)
 	fmt.Fprintf(&sb, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean, r.Latency.Max)

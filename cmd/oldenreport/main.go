@@ -1,5 +1,5 @@
 // Command oldenreport renders the pinned benchmark baselines
-// (BENCH_<name>.json, written by `oldenbench -update-baselines`) as a
+// (BENCH_<name>.json, written by `oldenbench -update`) as a
 // markdown report — the reproduction's Table 2 and Table 3, each row
 // annotated with the delta against the paper's published speedups — and
 // gates candidate record sets against the pinned ones.

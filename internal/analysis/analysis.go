@@ -37,11 +37,13 @@ var Checks = []struct {
 	{"heap-escape", checkHeapEscape},
 	{"mechanism-consistency", checkMechConsistency},
 	{"cert-trace", checkCertTrace},
+	{"phase-trace", checkPhaseTrace},
 }
 
 // Run applies every check to every package and returns the findings
 // sorted by position.
 func Run(pkgs []*Package) []Finding {
+	warmObservations(pkgs)
 	var all []Finding
 	for _, p := range pkgs {
 		for _, c := range Checks {

@@ -3,14 +3,10 @@ package analysis
 import (
 	"path"
 	"strings"
-	"sync"
 
 	"repro/internal/analysis/effects"
 	"repro/internal/bench"
-	"repro/internal/coherence"
 	"repro/internal/core"
-	"repro/internal/rt"
-	"repro/internal/trace"
 
 	// The certificate cross-validation runs registered benchmarks; the
 	// kernels register themselves in package init.
@@ -64,71 +60,35 @@ func checkCertTrace(p *Package) []Finding {
 	return fs
 }
 
-// certTraceCache memoizes the per-benchmark validation: oldenvet loads a
-// benchmark package more than once (unit and test variants), and the
-// simulation runs are the expensive part.
-var certTraceCache sync.Map // bench name -> []string (failure messages)
-
-// certTraceScale trades coverage for vet latency: the claim is about
-// access *behaviour*, not size, so a reduced problem exercises the same
-// code paths the certificate reasons about.
-const certTraceScale = 4 * bench.DefaultScale
-
 func validateCertified(name string, info bench.Info) []string {
-	if v, ok := certTraceCache.Load(name); ok {
-		return v.([]string)
-	}
 	var msgs []string
-	type observed struct {
-		scheme string
-		kernel trace.Digest
-		build  trace.Digest
-	}
-	var obs []observed
-	for _, k := range []coherence.Kind{
-		coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral,
-	} {
-		rec := trace.New(0)
-		var rtm *rt.Runtime
-		r := info.Run(bench.Config{
-			Procs:       2,
-			Scheme:      k,
-			Scale:       certTraceScale,
-			Trace:       rec,
-			RuntimeHook: func(r *rt.Runtime) { rtm = r },
-		})
-		if !r.Verified() {
+	all := observeSchemes(name, info)
+	var obs []schemeObs
+	for _, o := range all {
+		if !o.verified {
 			msgs = append(msgs, "certified kernel "+name+" failed verification under "+
-				k.String())
+				o.scheme)
 			continue
-		}
-		o := observed{scheme: k.String(), kernel: rec.AccessDigest()}
-		if rtm != nil {
-			if _, access, ok := rtm.BuildPhaseDigest(); ok {
-				o.build = access
-			}
 		}
 		obs = append(obs, o)
 	}
 	for i := 1; i < len(obs); i++ {
-		if obs[i].kernel != obs[0].kernel {
+		if obs[i].kernelAccess != obs[0].kernelAccess {
 			msgs = append(msgs, "certificate for "+name+
 				" claims scheme-independence but kernel access digests differ: "+
-				obs[0].scheme+"="+obs[0].kernel.String()+" vs "+
-				obs[i].scheme+"="+obs[i].kernel.String())
+				obs[0].scheme+"="+obs[0].kernelAccess.String()+" vs "+
+				obs[i].scheme+"="+obs[i].kernelAccess.String())
 		}
-		if obs[i].build != obs[0].build {
+		if obs[i].buildAccess != obs[0].buildAccess {
 			msgs = append(msgs, "certificate for "+name+
 				" claims scheme-independence but build access digests differ: "+
-				obs[0].scheme+"="+obs[0].build.String()+" vs "+
-				obs[i].scheme+"="+obs[i].build.String())
+				obs[0].scheme+"="+obs[0].buildAccess.String()+" vs "+
+				obs[i].scheme+"="+obs[i].buildAccess.String())
 		}
 	}
 	// Normalize duplicate messages away (several schemes can disagree in
 	// the same way).
-	msgs = dedupe(msgs)
-	certTraceCache.Store(name, msgs)
-	return msgs
+	return dedupe(msgs)
 }
 
 func dedupe(msgs []string) []string {

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"path"
+
+	"repro/internal/analysis/phases"
+	"repro/internal/bench"
+)
+
+// checkPhaseTrace cross-validates a benchmark's static phase plan — the
+// cert-trace pattern, one level finer. The plan makes two falsifiable
+// claims, and each is checked against the runtime's own account of the
+// three-scheme observation runs:
+//
+//   - An invariant build phase claims the heap image at the
+//     ResetForKernel boundary is identical under every coherence scheme:
+//     the build heap fingerprints and build access digests must agree.
+//     This is the exact obligation the server's phase cache rests on
+//     when it restores one configuration's build state for another.
+//
+//   - A fully certified chain claims the whole execution's semantic
+//     access behaviour and final heap state are scheme-independent: the
+//     kernel access digests and final heap fingerprints must agree.
+//
+// A compute-chain refusal (hostile kernels, extern calls, unbounded
+// steps) voids the second claim but not the first: the synthetic build
+// phase is invariant by harness construction, so its fingerprints are
+// validated even for refused plans.
+func checkPhaseTrace(p *Package) []Finding {
+	src, pos, ok := kernelSource(p)
+	if !ok {
+		return nil
+	}
+	benchName := path.Base(p.unitPath())
+	info, registered := bench.Get(benchName)
+	if !registered {
+		return nil
+	}
+	plan, err := phases.ComputeSource(src, phases.Options{IncludeBuild: info.Phased != nil})
+	if err != nil {
+		return nil // mechanism-consistency already reports parse failures
+	}
+	_, checkBuild := plan.BuildChain()
+	if !checkBuild && !plan.Certified {
+		// Nothing certified, nothing to validate: either the plan was
+		// refused with machine-readable reasons (the analysis doing its
+		// job) or no prefix proved invariant.
+		return nil
+	}
+	var fs []Finding
+	for _, msg := range validatePhases(benchName, info, checkBuild, plan.Certified) {
+		fs = append(fs, p.finding("phase-trace", pos, "%s", msg))
+	}
+	return fs
+}
+
+func validatePhases(name string, info bench.Info, checkBuild, certified bool) []string {
+	var msgs []string
+	all := observeSchemes(name, info)
+	var obs []schemeObs
+	for _, o := range all {
+		if !o.verified {
+			msgs = append(msgs, "phase plan for "+name+" but the kernel failed verification under "+
+				o.scheme)
+			continue
+		}
+		obs = append(obs, o)
+	}
+	for i := range obs {
+		if checkBuild && !obs[i].buildHeapOK {
+			msgs = append(msgs, "phase plan for "+name+
+				" has an invariant build phase but the run under "+obs[i].scheme+
+				" crossed no phase boundary")
+		}
+	}
+	for i := 1; i < len(obs); i++ {
+		if checkBuild && obs[i].buildHeapOK && obs[0].buildHeapOK &&
+			obs[i].buildHeapFP != obs[0].buildHeapFP {
+			msgs = append(msgs, fmt.Sprintf(
+				"invariant build phase of %s reaches different heap images: %s=%#x vs %s=%#x",
+				name, obs[0].scheme, obs[0].buildHeapFP, obs[i].scheme, obs[i].buildHeapFP))
+		}
+		if checkBuild && obs[i].buildAccess != obs[0].buildAccess {
+			msgs = append(msgs, "invariant build phase of "+name+
+				" emits different access digests: "+
+				obs[0].scheme+"="+obs[0].buildAccess.String()+" vs "+
+				obs[i].scheme+"="+obs[i].buildAccess.String())
+		}
+		if certified && obs[i].kernelAccess != obs[0].kernelAccess {
+			msgs = append(msgs, "certified phase chain of "+name+
+				" diverges in kernel access digests: "+
+				obs[0].scheme+"="+obs[0].kernelAccess.String()+" vs "+
+				obs[i].scheme+"="+obs[i].kernelAccess.String())
+		}
+		if certified && obs[i].finalHeapFP != obs[0].finalHeapFP {
+			msgs = append(msgs, fmt.Sprintf(
+				"certified phase chain of %s leaves different final heaps: %s=%#x vs %s=%#x",
+				name, obs[0].scheme, obs[0].finalHeapFP, obs[i].scheme, obs[i].finalHeapFP))
+		}
+	}
+	return dedupe(msgs)
+}

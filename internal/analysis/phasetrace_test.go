@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/analysis/phases"
+	"repro/internal/bench"
+)
+
+// The ten pinned kernels, by what their phase plan must prove: every
+// kernel-timed benchmark exposes a reusable scheme-invariant build
+// prefix (even when extern calls refuse the compute chain), and the
+// bounded migrate-only kernels certify their whole chain.
+func TestRegisteredKernelPhasePlans(t *testing.T) {
+	type want struct {
+		refused    bool
+		buildChain bool
+		certified  bool
+	}
+	cases := map[string]want{
+		"treeadd": {buildChain: true, certified: true},
+		"mst":     {buildChain: true, certified: true},
+		"bisort":  {buildChain: true},
+		"em3d":    {buildChain: true},
+		// The extern calls (conquer, incircle, adj) poison the step
+		// bounds, so the compute chains are refused — but the harness
+		// build phase survives and stays reusable.
+		"tsp":       {refused: true, buildChain: true},
+		"voronoi":   {refused: true, buildChain: true},
+		"perimeter": {refused: true, buildChain: true},
+		// Whole-program benchmarks have no harness build phase; power is
+		// migrate-only and bounded, so its whole chain certifies.
+		"power":     {certified: true},
+		"health":    {},
+		"barneshut": {},
+	}
+	for name, w := range cases {
+		t.Run(name, func(t *testing.T) {
+			info, ok := bench.Get(name)
+			if !ok {
+				t.Fatalf("benchmark %q not registered", name)
+			}
+			if info.Source == "" {
+				t.Fatalf("benchmark %q has no kernel source wired", name)
+			}
+			plan, err := phases.ComputeSource(info.Source, phases.Options{IncludeBuild: info.Phased != nil})
+			if err != nil {
+				t.Fatalf("ComputeSource: %v", err)
+			}
+			if plan.Refused != w.refused {
+				t.Fatalf("refused=%t want %t (reasons %v)\n%s", plan.Refused, w.refused, plan.Reasons, plan)
+			}
+			if w.refused && len(plan.Reasons) == 0 {
+				t.Fatalf("refusal must carry machine-readable reasons")
+			}
+			_, bc := plan.BuildChain()
+			if bc != w.buildChain {
+				t.Fatalf("buildChain=%t want %t\n%s", bc, w.buildChain, plan)
+			}
+			if plan.Certified != w.certified {
+				t.Fatalf("certified=%t want %t\n%s", plan.Certified, w.certified, plan)
+			}
+		})
+	}
+}
+
+// The runtime half on one build-prefix benchmark and one fully
+// certified one: no validation messages means the static claims held
+// under all three schemes.
+func TestValidatePhasesHolds(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		certified bool
+	}{
+		{"treeadd", true},
+		{"em3d", false},
+	} {
+		info, ok := bench.Get(tc.name)
+		if !ok {
+			t.Fatalf("benchmark %q not registered", tc.name)
+		}
+		if msgs := validatePhases(tc.name, info, true, tc.certified); len(msgs) != 0 {
+			t.Fatalf("%s: %v", tc.name, msgs)
+		}
+	}
+}

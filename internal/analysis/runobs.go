@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"path"
+	"sync"
+
+	"repro/internal/analysis/effects"
+	"repro/internal/analysis/phases"
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/rt"
+	"repro/internal/trace"
+)
+
+// This file is the shared observation runner behind the cert-trace and
+// phase-trace checks: both cross-validate static claims against the same
+// three-scheme simulations, so each benchmark is simulated exactly once
+// per vet invocation — the three schemes concurrently (each scheme gets
+// its own Runtime, recorder and registry, so the runs are isolated the
+// way t.Parallel() subtests must be) and the finished observation
+// memoized across the unit and test package variants oldenvet loads.
+
+// obsScale trades coverage for vet latency: the claims are about access
+// *behaviour*, not size, so a reduced problem exercises the same code
+// paths the certificates reason about.
+const obsScale = 4 * bench.DefaultScale
+
+// obsSchemes is the observation order; digests are compared pairwise
+// against index 0.
+var obsSchemes = []coherence.Kind{
+	coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral,
+}
+
+// schemeObs is what one scheme's run exposes to the static checks.
+type schemeObs struct {
+	scheme   string
+	verified bool
+	// kernelAccess is the order-insensitive scheme-invariant projection
+	// of the timed region's trace.
+	kernelAccess trace.Digest
+	// buildAccess is the same projection of the build phase (retired by
+	// ResetForKernel); buildOK is false for whole-program benchmarks.
+	buildAccess trace.Digest
+	buildOK     bool
+	// buildHeapFP fingerprints the heap image at the phase boundary;
+	// finalHeapFP fingerprints it after the kernel.
+	buildHeapFP uint64
+	buildHeapOK bool
+	finalHeapFP uint64
+}
+
+type benchObs struct {
+	once sync.Once
+	obs  []schemeObs
+}
+
+var obsCache sync.Map // bench name -> *benchObs
+
+// observeSchemes runs the registered benchmark under all three schemes,
+// concurrently, and memoizes the observations per benchmark name.
+func observeSchemes(name string, info bench.Info) []schemeObs {
+	v, _ := obsCache.LoadOrStore(name, &benchObs{})
+	bo := v.(*benchObs)
+	bo.once.Do(func() {
+		bo.obs = make([]schemeObs, len(obsSchemes))
+		var wg sync.WaitGroup
+		for i, k := range obsSchemes {
+			wg.Add(1)
+			go func(i int, k coherence.Kind) {
+				defer wg.Done()
+				bo.obs[i] = observeOne(info, k)
+			}(i, k)
+		}
+		wg.Wait()
+	})
+	return bo.obs
+}
+
+func observeOne(info bench.Info, k coherence.Kind) schemeObs {
+	rec := trace.New(0)
+	var rtm *rt.Runtime
+	r := info.Run(bench.Config{
+		Procs:       2,
+		Scheme:      k,
+		Scale:       obsScale,
+		Trace:       rec,
+		RuntimeHook: func(r *rt.Runtime) { rtm = r },
+	})
+	o := schemeObs{
+		scheme:       k.String(),
+		verified:     r.Verified(),
+		kernelAccess: rec.AccessDigest(),
+	}
+	if rtm != nil {
+		if _, access, ok := rtm.BuildPhaseDigest(); ok {
+			o.buildAccess = access
+			o.buildOK = true
+		}
+		o.buildHeapFP, o.buildHeapOK = rtm.BuildHeapFingerprint()
+		o.finalHeapFP = rtm.HeapFingerprint()
+	}
+	return o
+}
+
+// warmObservations starts the three-scheme observation runs for every
+// benchmark package in the batch that a trace-validating check will
+// need, so distinct kernels simulate concurrently instead of serially as
+// the check loop reaches them. The per-name memoization makes the later
+// check calls block on (or reuse) the warmed result.
+func warmObservations(pkgs []*Package) {
+	launched := map[string]bool{}
+	for _, p := range pkgs {
+		name, info, ok := observationTarget(p)
+		if !ok || launched[name] {
+			continue
+		}
+		launched[name] = true
+		go observeSchemes(name, info)
+	}
+}
+
+// observationTarget reports whether a trace-validating check will need
+// the three-scheme observations of this package's kernel, mirroring the
+// gates of checkCertTrace and checkPhaseTrace: a registered benchmark
+// whose certificate holds or whose phase plan certified something.
+func observationTarget(p *Package) (string, bench.Info, bool) {
+	src, _, ok := kernelSource(p)
+	if !ok {
+		return "", bench.Info{}, false
+	}
+	name := path.Base(p.unitPath())
+	info, registered := bench.Get(name)
+	if !registered {
+		return "", bench.Info{}, false
+	}
+	res, err := effects.AnalyzeSource(src, core.DefaultParams())
+	if err != nil {
+		return "", bench.Info{}, false
+	}
+	if res.Certificate().Cacheable {
+		return name, info, true
+	}
+	plan := phases.Compute(res, phases.Options{IncludeBuild: info.Phased != nil})
+	if _, ok := plan.BuildChain(); ok || plan.Certified {
+		return name, info, true
+	}
+	return "", bench.Info{}, false
+}

@@ -85,6 +85,7 @@ func init() {
 		Choice:      "M+C",
 		Whole:       true,
 		Run:         Run,
+		Source:      KernelSource,
 	})
 }
 

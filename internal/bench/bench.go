@@ -121,6 +121,27 @@ type Info struct {
 	Choice      string // "M" or "M+C", the heuristic choice in Table 2
 	Whole       bool   // whole-program timing (the W rows)
 	Run         func(Config) Result
+	// Source is the benchmark's mini-C kernel (the package's
+	// KernelSource), when it has one; the phase-slicing pass reads it.
+	Source string
+	// Phased exposes the benchmark's build/kernel split, when the
+	// benchmark is kernel-timed. Run must be exactly Phased.Kernel
+	// composed after Phased.Build on a fresh runtime.
+	Phased *Phased
+}
+
+// Phased is a kernel-timed benchmark split at its ResetForKernel
+// boundary, the seam the static phase plan certifies.
+type Phased struct {
+	// Build materializes the problem instance on the runtime (raw heap
+	// API, no simulated accesses) and returns the build state the kernel
+	// needs: addresses, sizes, the reference answer. The state must be
+	// immutable and free of references to the runtime or configuration —
+	// a later run with a different coherence scheme reuses it verbatim.
+	Build func(Config, *rt.Runtime) any
+	// Kernel calls ResetForKernel, runs and times the kernel, and
+	// verifies the result. It must not mutate the build state.
+	Kernel func(Config, *rt.Runtime, any) Result
 }
 
 var (

@@ -59,11 +59,12 @@ func init() {
 		PaperSize:   "128K integers",
 		Choice:      "M+C",
 		Run:         Run,
+		Source:      KernelSource,
+		Phased:      &bench.Phased{Build: buildPhase, Kernel: kernelPhase},
 	})
 }
 
 type state struct {
-	r          *rt.Runtime
 	siteRoot   *rt.Site // recursion over the tree: migrate
 	siteSearch *rt.Site // pl/pr subtree search: cache
 	siteSwap   *rt.Site // subtree content swaps: migrate
@@ -261,9 +262,18 @@ func levelsFor(cfg bench.Config) int {
 	return l
 }
 
-// Run executes Bisort under the configuration.
-func Run(cfg bench.Config) bench.Result {
-	r := cfg.NewRuntime()
+// built is the immutable build-phase state: the tree root, the initial
+// spare value, and the precomputed reference checksum.
+type built struct {
+	root      gaddr.GP
+	levels    int
+	spr       int64
+	distDepth int
+	want      uint64
+}
+
+// buildPhase allocates the tree through the raw heap API.
+func buildPhase(cfg bench.Config, r *rt.Runtime) any {
 	levels := levelsFor(cfg)
 
 	next := uint64(99)
@@ -274,13 +284,21 @@ func Run(cfg bench.Config) bench.Result {
 	for 1<<uint(distDepth) < r.P() {
 		distDepth++
 	}
+	return &built{root: root, levels: levels, spr: spr, distDepth: distDepth,
+		want: reference(levels)}
+}
+
+// kernelPhase times the two bitonic sort passes and verifies the final
+// tree contents.
+func kernelPhase(cfg bench.Config, r *rt.Runtime, st any) bench.Result {
+	b := st.(*built)
+	root, spr := b.root, b.spr
 	s := &state{
-		r:          r,
 		siteRoot:   &rt.Site{Name: "bisort.root", Mech: rt.Migrate},
 		siteSearch: &rt.Site{Name: "bisort.search", Mech: rt.Cache},
 		siteSwap:   &rt.Site{Name: "bisort.swap", Mech: rt.Migrate},
 		parallel:   !cfg.Baseline,
-		spawnDepth: distDepth + 2,
+		spawnDepth: b.distDepth + 2,
 	}
 
 	r.ResetForKernel()
@@ -314,6 +332,12 @@ func Run(cfg bench.Config) bench.Result {
 		Stats:     r.M.Stats.Snapshot(),
 		Pages:     r.PagesCachedTotal(),
 		Check:     check,
-		WantCheck: reference(levels),
+		WantCheck: b.want,
 	}
+}
+
+// Run executes Bisort under the configuration.
+func Run(cfg bench.Config) bench.Result {
+	r := cfg.NewRuntime()
+	return kernelPhase(cfg, r, buildPhase(cfg, r))
 }

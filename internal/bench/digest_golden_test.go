@@ -16,7 +16,7 @@ import (
 	_ "repro/internal/bench/treeadd"
 )
 
-var updateDigests = flag.Bool("update-digests", false,
+var update = flag.Bool("update", false,
 	"rewrite testdata/trace_digests.golden from the current simulation")
 
 // goldenScale pins the problem size of the golden runs explicitly, so a
@@ -31,7 +31,7 @@ const goldenPath = "testdata/trace_digests.golden"
 // protocol, or the event vocabulary changes; that is intentional. Review
 // the diff, then regenerate with:
 //
-//	go test ./internal/bench -run TestTraceDigestGoldens -update-digests
+//	go test ./internal/bench -run TestTraceDigestGoldens -update
 func TestTraceDigestGoldens(t *testing.T) {
 	var lines []string
 	for _, name := range []string{"treeadd", "bisort", "em3d"} {
@@ -51,7 +51,7 @@ func TestTraceDigestGoldens(t *testing.T) {
 	}
 	got := strings.Join(lines, "\n") + "\n"
 
-	if *updateDigests {
+	if *update {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestTraceDigestGoldens(t *testing.T) {
 	}
 	wantBytes, err := os.ReadFile(goldenPath)
 	if err != nil {
-		t.Fatalf("missing golden file (regenerate with -update-digests): %v", err)
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
 	}
 	want := string(wantBytes)
 	if got == want {

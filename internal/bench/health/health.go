@@ -95,6 +95,7 @@ func init() {
 		Choice:      "M+C",
 		Whole:       true,
 		Run:         Run,
+		Source:      KernelSource,
 	})
 }
 

@@ -72,6 +72,8 @@ func init() {
 		PaperSize:   "4K x 4K image",
 		Choice:      "M+C",
 		Run:         Run,
+		Source:      KernelSource,
+		Phased:      &bench.Phased{Build: buildPhase, Kernel: kernelPhase},
 	})
 }
 
@@ -116,7 +118,6 @@ func build(r *rt.Runtime, im image, x, y, size int, parent gaddr.GP, childType, 
 }
 
 type state struct {
-	r        *rt.Runtime
 	siteTree *rt.Site // quadrant recursion: migrate
 	siteNbr  *rt.Site // neighbor finding through parents: cache
 	parallel bool
@@ -206,15 +207,27 @@ func (s *state) perimeter(t *rt.Thread, node gaddr.GP, size int) int64 {
 	return total
 }
 
-// Run executes Perimeter under the configuration.
-func Run(cfg bench.Config) bench.Result {
-	r := cfg.NewRuntime()
+// built is the immutable build-phase state: the quadtree root, the
+// image side, and the precomputed reference perimeter.
+type built struct {
+	root gaddr.GP
+	side int
+	want uint64
+}
+
+// buildPhase materializes the quadtree through the raw heap API.
+func buildPhase(cfg bench.Config, r *rt.Runtime) any {
 	side := sideFor(cfg)
 	im := makeImage(side)
 	root := build(r, im, 0, 0, side, gaddr.Nil, 0, 0, r.P())
+	return &built{root: root, side: side, want: reference(side)}
+}
 
+// kernelPhase times the perimeter traversal and verifies the total.
+func kernelPhase(cfg bench.Config, r *rt.Runtime, st any) bench.Result {
+	b := st.(*built)
+	root, side := b.root, b.side
 	s := &state{
-		r:        r,
 		siteTree: &rt.Site{Name: "perimeter.tree", Mech: rt.Migrate},
 		siteNbr:  &rt.Site{Name: "perimeter.nbr", Mech: rt.Cache},
 		parallel: !cfg.Baseline,
@@ -239,6 +252,12 @@ func Run(cfg bench.Config) bench.Result {
 		Stats:     r.M.Stats.Snapshot(),
 		Pages:     r.PagesCachedTotal(),
 		Check:     uint64(total),
-		WantCheck: reference(side),
+		WantCheck: b.want,
 	}
+}
+
+// Run executes Perimeter under the configuration.
+func Run(cfg bench.Config) bench.Result {
+	r := cfg.NewRuntime()
+	return kernelPhase(cfg, r, buildPhase(cfg, r))
 }

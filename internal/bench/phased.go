@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// BuildState is a reusable build-phase boundary: the heap images and
+// host-side build state captured right before a kernel-timed benchmark's
+// ResetForKernel. The static phase plan proves the boundary is
+// scheme-invariant, so one BuildState serves every configuration that
+// agrees on benchmark, machine size and problem scale — whatever the
+// coherence scheme or mechanism mode.
+type BuildState struct {
+	Benchmark string
+	Procs     int
+	Scale     int
+	Images    []mem.HeapImage
+	State     any
+	// HeapFP is the runtime's heap fingerprint at the phase boundary,
+	// recorded on the run that built the state. Every reuse re-checks it:
+	// a restored image that fingerprints differently is a harness bug,
+	// caught before it can contaminate a result.
+	HeapFP uint64
+}
+
+// Reusable reports whether the build state can serve the configuration.
+func (bs *BuildState) Reusable(name string, cfg Config) bool {
+	cfg = cfg.normalize()
+	return bs != nil && bs.Benchmark == name && !cfg.Baseline &&
+		bs.Procs == cfg.Procs && bs.Scale == cfg.Scale
+}
+
+// RunPhased executes one configuration, reusing the given build state
+// when it fits and returning the (possibly new) build state for the next
+// caller. reused reports whether the build phase was skipped. Benchmarks
+// without a Phased split, and baseline configurations (whose machine
+// shape differs), fall back to the ordinary Run with no build state.
+//
+// The kernel half is bit-identical either way: the build performs no
+// simulated accesses, so restoring its heap image is indistinguishable
+// from re-running it.
+func RunPhased(info Info, cfg Config, bs *BuildState) (Result, *BuildState, bool, error) {
+	cfg = cfg.normalize()
+	if info.Phased == nil || cfg.Baseline {
+		return info.Run(cfg), nil, false, nil
+	}
+	r := cfg.NewRuntime()
+	reused := bs.Reusable(info.Name, cfg)
+	var st any
+	if reused {
+		r.RestoreHeaps(bs.Images)
+		st = bs.State
+	} else {
+		st = info.Phased.Build(cfg, r)
+		bs = &BuildState{
+			Benchmark: info.Name,
+			Procs:     cfg.Procs,
+			Scale:     cfg.Scale,
+			Images:    r.SnapshotHeaps(),
+			State:     st,
+		}
+	}
+	res := info.Phased.Kernel(cfg, r, st)
+	fp, ok := r.BuildHeapFingerprint()
+	if !ok {
+		return res, nil, reused, fmt.Errorf("bench: %s phased kernel crossed no phase boundary", info.Name)
+	}
+	if reused {
+		if fp != bs.HeapFP {
+			return res, nil, true, fmt.Errorf(
+				"bench: %s restored build state fingerprints %#x, want %#x", info.Name, fp, bs.HeapFP)
+		}
+	} else {
+		bs.HeapFP = fp
+	}
+	return res, bs, reused, nil
+}

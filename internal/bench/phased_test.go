@@ -1,0 +1,151 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/coherence"
+	"repro/internal/rt"
+	"repro/internal/trace"
+
+	_ "repro/internal/bench/health"
+	_ "repro/internal/bench/mst"
+	_ "repro/internal/bench/perimeter"
+	_ "repro/internal/bench/tsp"
+	_ "repro/internal/bench/voronoi"
+)
+
+// The phased contract: skipping the build by restoring its heap image
+// must be observationally indistinguishable from re-running it — same
+// result, same kernel trace digest, same build heap fingerprint —
+// whatever coherence scheme or mechanism mode runs the kernel.
+func TestRunPhasedReuseMatchesColdRun(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"treeadd", "em3d", "bisort", "mst", "tsp", "voronoi", "perimeter"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			info, ok := bench.Get(name)
+			if !ok {
+				t.Fatalf("benchmark %s not registered", name)
+			}
+			if info.Phased == nil {
+				t.Fatalf("kernel-timed benchmark %s has no Phased split", name)
+			}
+			var bs *bench.BuildState
+			for i, k := range []coherence.Kind{
+				coherence.LocalKnowledge, coherence.GlobalKnowledge, coherence.Bilateral,
+			} {
+				cold := runOnce(t, info, k, rt.Heuristic, nil)
+				var warm obs
+				warm, bs = runOnce2(t, info, k, rt.Heuristic, bs)
+				if i > 0 && !warm.reused {
+					t.Fatalf("%s under %s did not reuse the build state", name, k)
+				}
+				if cold.res != warm.res {
+					t.Fatalf("%s under %s: cold %+v != warm %+v", name, k, cold.res, warm.res)
+				}
+				if cold.kernelDigest != warm.kernelDigest {
+					t.Fatalf("%s under %s: kernel trace digest changed on reuse:\n cold %s\n warm %s",
+						name, k, cold.kernelDigest, warm.kernelDigest)
+				}
+				if cold.heapFP != warm.heapFP {
+					t.Fatalf("%s under %s: build heap fingerprint %#x != %#x",
+						name, k, warm.heapFP, cold.heapFP)
+				}
+			}
+			// The migrate-only mode must reuse the same build state too.
+			warm, _ := runOnce2(t, info, coherence.LocalKnowledge, rt.MigrateOnly, bs)
+			if !warm.reused || !warm.res.Verified() {
+				t.Fatalf("%s migrate-only reuse: reused=%t verified=%t",
+					name, warm.reused, warm.res.Verified())
+			}
+		})
+	}
+}
+
+type obs struct {
+	res          bench.Result
+	kernelDigest string
+	heapFP       uint64
+	reused       bool
+}
+
+func runOnce(t *testing.T, info bench.Info, k coherence.Kind, mode rt.Mode, bs *bench.BuildState) obs {
+	o, _ := runOnce2(t, info, k, mode, bs)
+	return o
+}
+
+func runOnce2(t *testing.T, info bench.Info, k coherence.Kind, mode rt.Mode, bs *bench.BuildState) (obs, *bench.BuildState) {
+	t.Helper()
+	rec := trace.New(0)
+	var rtm *rt.Runtime
+	cfg := bench.Config{
+		Procs:       2,
+		Scheme:      k,
+		Mode:        mode,
+		Scale:       4 * bench.DefaultScale,
+		Trace:       rec,
+		RuntimeHook: func(r *rt.Runtime) { rtm = r },
+	}
+	res, out, reused, err := bench.RunPhased(info, cfg, bs)
+	if err != nil {
+		t.Fatalf("RunPhased(%s, %s): %v", info.Name, k, err)
+	}
+	if !res.Verified() {
+		t.Fatalf("%s under %s failed verification", info.Name, k)
+	}
+	o := obs{res: res, kernelDigest: rec.Digest().String(), reused: reused}
+	if rtm != nil {
+		o.heapFP, _ = rtm.BuildHeapFingerprint()
+	}
+	return o, out
+}
+
+// Whole-program benchmarks have no phase split; RunPhased must fall
+// back to the plain Run without inventing a build state.
+func TestRunPhasedWholeProgramFallback(t *testing.T) {
+	t.Parallel()
+	info, ok := bench.Get("health")
+	if !ok {
+		t.Skip("health not registered")
+	}
+	if info.Phased != nil {
+		t.Fatalf("whole-program benchmark unexpectedly has a Phased split")
+	}
+	res, bs, reused, err := bench.RunPhased(info, bench.Config{Procs: 2, Scale: 8 * bench.DefaultScale}, nil)
+	if err != nil {
+		t.Fatalf("RunPhased: %v", err)
+	}
+	if bs != nil || reused {
+		t.Fatalf("fallback produced a build state (bs=%v reused=%t)", bs, reused)
+	}
+	if !res.Verified() {
+		t.Fatalf("health failed verification")
+	}
+}
+
+// A build state must not serve a different machine size or scale.
+func TestBuildStateReusableGuards(t *testing.T) {
+	t.Parallel()
+	bs := &bench.BuildState{Benchmark: "treeadd", Procs: 2, Scale: 64}
+	if !bs.Reusable("treeadd", bench.Config{Procs: 2, Scale: 64}) {
+		t.Fatalf("matching config rejected")
+	}
+	for _, cfg := range []bench.Config{
+		{Procs: 4, Scale: 64},
+		{Procs: 2, Scale: 32},
+		{Procs: 2, Scale: 64, Baseline: true},
+	} {
+		if bs.Reusable("treeadd", cfg) {
+			t.Fatalf("mismatched config %+v accepted", cfg)
+		}
+	}
+	if bs.Reusable("em3d", bench.Config{Procs: 2, Scale: 64}) {
+		t.Fatalf("wrong benchmark accepted")
+	}
+	var nilBS *bench.BuildState
+	if nilBS.Reusable("treeadd", bench.Config{Procs: 2, Scale: 64}) {
+		t.Fatalf("nil build state accepted")
+	}
+}

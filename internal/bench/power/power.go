@@ -83,6 +83,7 @@ func init() {
 		Choice:      "M",
 		Whole:       true,
 		Run:         Run,
+		Source:      KernelSource,
 	})
 }
 

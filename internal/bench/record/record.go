@@ -127,7 +127,7 @@ func Load(path string) (File, error) {
 		return File{}, fmt.Errorf("record: %s: %w", path, err)
 	}
 	if f.Schema != SchemaVersion {
-		return File{}, fmt.Errorf("record: %s: schema %d, want %d (re-pin with -update-baselines)",
+		return File{}, fmt.Errorf("record: %s: schema %d, want %d (re-pin with oldenbench -update)",
 			path, f.Schema, SchemaVersion)
 	}
 	return f, nil

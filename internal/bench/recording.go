@@ -87,6 +87,43 @@ func RunRecorded(info Info, cfg Config) (Result, record.RunRecord) {
 	return res, rec
 }
 
+// RunPhasedRecorded is RunRecorded through the phased path: it executes
+// one configuration, reusing bs when it fits, and returns the record
+// alongside the (possibly new) build state. ResetForKernel clears the
+// recorder and registry at the phase boundary, so the record — cycles,
+// stats, trace digest — covers exactly the timed region and is
+// bit-identical whether the build ran or was restored from images.
+func RunPhasedRecorded(info Info, cfg Config, bs *BuildState) (Result, record.RunRecord, *BuildState, bool, error) {
+	cfg = cfg.normalize()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.New(0)
+		cfg.Trace = tr
+	}
+	res, nbs, reused, err := RunPhased(info, cfg, bs)
+	rec := record.RunRecord{
+		Benchmark:   info.Name,
+		Baseline:    cfg.Baseline,
+		Procs:       cfg.Procs,
+		Scheme:      cfg.Scheme.String(),
+		Mode:        cfg.Mode.String(),
+		Scale:       cfg.Scale,
+		Cycles:      res.Cycles,
+		Verified:    res.Verified(),
+		Pages:       res.Pages,
+		Stats:       res.Stats,
+		MissPct:     res.Stats.MissPct(),
+		Metrics:     reg.Snapshot().Flat(),
+		TraceDigest: tr.Digest().String(),
+	}
+	return res, rec, nbs, reused, err
+}
+
 // recordConfigs is the pinned configuration suite each BENCH_<name>.json
 // holds: the sequential baseline, the heuristic run under each of the
 // three coherence schemes, and the forced-migration run — everything

@@ -57,11 +57,12 @@ func init() {
 		PaperSize:   "1024K nodes",
 		Choice:      "M",
 		Run:         Run,
+		Source:      KernelSource,
+		Phased:      &bench.Phased{Build: buildPhase, Kernel: kernelPhase},
 	})
 }
 
 type state struct {
-	r        *rt.Runtime
 	siteT    *rt.Site
 	parallel bool
 	// spawnDepth bounds futurecall depth: below the data-distribution
@@ -129,31 +130,41 @@ func levels(cfg bench.Config) int {
 	return l
 }
 
-// Run executes TreeAdd under the configuration and reports the kernel
-// makespan and statistics.
-func Run(cfg bench.Config) bench.Result {
-	r := cfg.NewRuntime()
+// built is the immutable build-phase state: what the kernel needs to
+// find and verify the tree, free of runtime and configuration.
+type built struct {
+	root      gaddr.GP
+	nodes     int64
+	distDepth int
+}
+
+// buildPhase allocates the tree through the raw heap API (no simulated
+// accesses, so the phase is scheme-invariant by construction).
+func buildPhase(cfg bench.Config, r *rt.Runtime) any {
 	lv := levels(cfg)
 	nodes := int64(1)<<uint(lv) - 1
-
 	var next int64
 	distDepth := 0
 	for 1<<uint(distDepth) < r.P() {
 		distDepth++
 	}
 	root := build(r, lv, distDepth, &next)
+	return &built{root: root, nodes: nodes, distDepth: distDepth}
+}
 
+// kernelPhase times the TreeAdd traversal and verifies the closed form.
+func kernelPhase(cfg bench.Config, r *rt.Runtime, st any) bench.Result {
+	b := st.(*built)
 	s := &state{
-		r:          r,
 		siteT:      &rt.Site{Name: "treeadd.t", Mech: rt.Migrate},
 		parallel:   !cfg.Baseline,
-		spawnDepth: distDepth + 2,
+		spawnDepth: b.distDepth + 2,
 	}
 
 	r.ResetForKernel()
 	var sum int64
 	r.Run(0, func(t *rt.Thread) {
-		sum = rt.Call(t, func() int64 { return s.add(t, root, 0) })
+		sum = rt.Call(t, func() int64 { return s.add(t, b.root, 0) })
 	})
 
 	return bench.Result{
@@ -163,6 +174,13 @@ func Run(cfg bench.Config) bench.Result {
 		Stats:     r.M.Stats.Snapshot(),
 		Pages:     r.PagesCachedTotal(),
 		Check:     uint64(sum),
-		WantCheck: uint64(nodes * (nodes - 1) / 2),
+		WantCheck: uint64(b.nodes * (b.nodes - 1) / 2),
 	}
+}
+
+// Run executes TreeAdd under the configuration and reports the kernel
+// makespan and statistics.
+func Run(cfg bench.Config) bench.Result {
+	r := cfg.NewRuntime()
+	return kernelPhase(cfg, r, buildPhase(cfg, r))
 }

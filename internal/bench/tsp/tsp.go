@@ -67,11 +67,12 @@ func init() {
 		PaperSize:   "32K cities",
 		Choice:      "M",
 		Run:         Run,
+		Source:      KernelSource,
+		Phased:      &bench.Phased{Build: buildPhase, Kernel: kernelPhase},
 	})
 }
 
 type state struct {
-	r          *rt.Runtime
 	site       *rt.Site // everything migrates in TSP
 	parallel   bool
 	spawnDepth int
@@ -236,9 +237,19 @@ func (s *state) tsp(t *rt.Thread, root gaddr.GP, sz, depth int) gaddr.GP {
 	return rt.Call(t, func() gaddr.GP { return s.merge(t, a, b, root) })
 }
 
-// Run executes TSP under the configuration.
-func Run(cfg bench.Config) bench.Result {
-	r := cfg.NewRuntime()
+// built is the immutable build-phase state: the materialized city tree,
+// the problem size and the precomputed reference checksum.
+type built struct {
+	root      gaddr.GP
+	n         int
+	distDepth int
+	want      uint64
+}
+
+// buildPhase generates and materializes the city tree through the raw
+// heap API; the reference tour is pure host arithmetic, so it belongs
+// to the build too.
+func buildPhase(cfg bench.Config, r *rt.Runtime) any {
 	n := cfg.Scaled(paperCities, 511)
 	// Round to 2^k − 1 so median splits stay perfect.
 	k := 0
@@ -256,11 +267,18 @@ func Run(cfg bench.Config) bench.Result {
 	for 1<<uint(distDepth) < r.P() {
 		distDepth++
 	}
+	return &built{root: root, n: n, distDepth: distDepth,
+		want: reference(n, conquerSize)}
+}
+
+// kernelPhase times the closest-point merge and verifies the tour.
+func kernelPhase(cfg bench.Config, r *rt.Runtime, st any) bench.Result {
+	b := st.(*built)
+	root, n := b.root, b.n
 	s := &state{
-		r:          r,
 		site:       &rt.Site{Name: "tsp.city", Mech: rt.Migrate},
 		parallel:   !cfg.Baseline,
-		spawnDepth: distDepth + 2,
+		spawnDepth: b.distDepth + 2,
 	}
 
 	r.ResetForKernel()
@@ -297,6 +315,12 @@ func Run(cfg bench.Config) bench.Result {
 		Stats:     r.M.Stats.Snapshot(),
 		Pages:     r.PagesCachedTotal(),
 		Check:     check,
-		WantCheck: reference(n, conquerSize),
+		WantCheck: b.want,
 	}
+}
+
+// Run executes TSP under the configuration.
+func Run(cfg bench.Config) bench.Result {
+	r := cfg.NewRuntime()
+	return kernelPhase(cfg, r, buildPhase(cfg, r))
 }

@@ -55,6 +55,8 @@ func init() {
 		PaperSize:   "64K points",
 		Choice:      "M+C",
 		Run:         Run,
+		Source:      KernelSource,
+		Phased:      &bench.Phased{Build: buildPhase, Kernel: kernelPhase},
 	})
 }
 
@@ -105,7 +107,7 @@ func checksum(edges [][2]int32) uint64 {
 }
 
 type state struct {
-	r          *rt.Runtime
+	procs      int
 	st         *heapStore
 	n          int
 	parallel   bool
@@ -113,7 +115,7 @@ type state struct {
 }
 
 // procOf maps an x-rank to its owner (points are blocked by x).
-func (s *state) procOf(rank int) int { return bench.BlockedProc(rank, s.n, s.r.P()) }
+func (s *state) procOf(rank int) int { return bench.BlockedProc(rank, s.n, s.procs) }
 
 // par is the parallel divide and conquer: migrate to the region's owner,
 // solve halves (the left as a future), then merge pinned on this
@@ -158,9 +160,20 @@ func (s *state) par(t *rt.Thread, ids []int32, lo, depth int) (edgeRef, edgeRef)
 
 func pair2(v [2]edgeRef) (edgeRef, edgeRef) { return v[0], v[1] }
 
-// Run executes Voronoi under the configuration.
-func Run(cfg bench.Config) bench.Result {
-	r := cfg.NewRuntime()
+// built is the immutable build-phase state: the materialized points,
+// the x-sorted id order, and the precomputed sequential reference.
+type built struct {
+	pts       []gaddr.GP
+	ids       []int32
+	n         int
+	distDepth int
+	want      uint64
+}
+
+// buildPhase generates and materializes the point set, and computes the
+// sequential Delaunay reference on the plain-Go backend (pure host
+// arithmetic, so it belongs to the build).
+func buildPhase(cfg bench.Config, r *rt.Runtime) any {
 	n := cfg.Scaled(paperPoints, 512)
 	px, py, ids := genSorted(n)
 
@@ -175,17 +188,31 @@ func Run(cfg bench.Config) bench.Result {
 		pts[id] = g
 	}
 
-	site := &rt.Site{Name: "voronoi.edge", Mech: rt.Cache}
 	distDepth := 0
 	for 1<<uint(distDepth) < r.P() {
 		distDepth++
 	}
+
+	// Sequential reference on the plain-Go backend.
+	ref := newMemAlg(px, py)
+	delaunaySeq(ref, ids)
+
+	return &built{pts: pts, ids: ids, n: n, distDepth: distDepth,
+		want: checksum(ref.alive())}
+}
+
+// kernelPhase times the divide-and-conquer Delaunay merge. The edge
+// store mirror is per-run state: the kernel allocates edges through it.
+func kernelPhase(cfg bench.Config, r *rt.Runtime, st any) bench.Result {
+	b := st.(*built)
+	ids := b.ids
+	site := &rt.Site{Name: "voronoi.edge", Mech: rt.Cache}
 	s := &state{
-		r:          r,
-		st:         newHeapStore(site, pts),
-		n:          n,
+		procs:      r.P(),
+		st:         newHeapStore(site, b.pts),
+		n:          b.n,
 		parallel:   !cfg.Baseline,
-		spawnDepth: distDepth + 2,
+		spawnDepth: b.distDepth + 2,
 	}
 
 	r.ResetForKernel()
@@ -196,10 +223,6 @@ func Run(cfg bench.Config) bench.Result {
 		})
 	})
 
-	// Sequential reference on the plain-Go backend.
-	ref := newMemAlg(px, py)
-	delaunaySeq(ref, ids)
-
 	return bench.Result{
 		Name:      "voronoi",
 		Procs:     r.P(),
@@ -207,8 +230,14 @@ func Run(cfg bench.Config) bench.Result {
 		Stats:     r.M.Stats.Snapshot(),
 		Pages:     r.PagesCachedTotal(),
 		Check:     checksum(s.st.bind(nil).aliveSafe()),
-		WantCheck: checksum(ref.alive()),
+		WantCheck: b.want,
 	}
+}
+
+// Run executes Voronoi under the configuration.
+func Run(cfg bench.Config) bench.Result {
+	r := cfg.NewRuntime()
+	return kernelPhase(cfg, r, buildPhase(cfg, r))
 }
 
 // aliveSafe reads the mirror without needing a thread.

@@ -162,3 +162,49 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// Snapshot copies the heap section's allocated contents and allocation
+// cursor into a compact image. The image is immutable and safe to share:
+// Restore copies out of it, never aliases it.
+func (h *Heap) Snapshot() HeapImage {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	words := int(h.next / gaddr.WordBytes)
+	if words > len(h.words) {
+		words = len(h.words)
+	}
+	img := HeapImage{Proc: h.proc, Next: h.next, Words: make([]uint64, words)}
+	copy(img.Words, h.words[:words])
+	return img
+}
+
+// Restore overwrites the heap section with a previously captured image.
+// The image must come from a heap of the same processor; the section's
+// capacity must be able to hold it.
+func (h *Heap) Restore(img HeapImage) {
+	if img.Proc != h.proc {
+		panic(fmt.Sprintf("mem: restoring processor %d image onto processor %d", img.Proc, h.proc))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if img.Next > h.limit {
+		panic(fmt.Sprintf("mem: heap image (%d bytes) exceeds section limit %d on processor %d",
+			img.Next, h.limit, h.proc))
+	}
+	if len(img.Words) > len(h.words) {
+		h.words = make([]uint64, len(img.Words))
+	}
+	n := copy(h.words, img.Words)
+	for i := n; i < len(h.words); i++ {
+		h.words[i] = 0
+	}
+	h.next = img.Next
+}
+
+// HeapImage is one processor's captured heap section: the allocated words
+// and the bump cursor, enough to reproduce the section bit for bit.
+type HeapImage struct {
+	Proc  int
+	Next  uint32
+	Words []uint64
+}

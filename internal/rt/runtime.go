@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -201,6 +202,12 @@ type Runtime struct {
 	buildDigest trace.Digest
 	buildAccess trace.Digest
 	buildPhases int
+	// buildHeapFP fingerprints the heap image at the ResetForKernel
+	// boundary. Raw-API builds emit no trace events, so the heap
+	// fingerprint — not the (empty) build trace — is the content
+	// identity of the build phase.
+	buildHeapFP uint64
+	buildHeapOK bool
 
 	live sync.WaitGroup // outstanding future bodies
 }
@@ -329,6 +336,11 @@ func (r *Runtime) Run(start int, f func(t *Thread)) int64 {
 // avoid having their data structure building phases skew the results").
 // Heap contents survive.
 func (r *Runtime) ResetForKernel() {
+	// Fingerprint the heap image at the phase boundary: raw-API builds
+	// bypass the tracer, so this — not the build trace — is the durable
+	// content identity of what the build produced.
+	r.buildHeapFP = r.HeapFingerprint()
+	r.buildHeapOK = true
 	r.M.ResetClocks()
 	r.M.Stats.Reset()
 	for _, c := range r.Caches {
@@ -358,6 +370,39 @@ func (r *Runtime) ResetForKernel() {
 // when tracing was off or ResetForKernel has not run.
 func (r *Runtime) BuildPhaseDigest() (full, access trace.Digest, ok bool) {
 	return r.buildDigest, r.buildAccess, r.buildPhases > 0
+}
+
+// BuildHeapFingerprint returns the heap fingerprint captured at the most
+// recent ResetForKernel boundary. ok is false if no phase boundary has
+// been crossed. Two configurations whose static phase plans share a
+// build-chain digest must agree on this fingerprint whatever the
+// coherence scheme — the phase-trace check and the server's phase cache
+// both rest on that obligation.
+func (r *Runtime) BuildHeapFingerprint() (uint64, bool) {
+	return r.buildHeapFP, r.buildHeapOK
+}
+
+// SnapshotHeaps captures every processor's heap section. Together with
+// the build state a phased benchmark returns, the images are the
+// machine-level half of a reusable phase boundary.
+func (r *Runtime) SnapshotHeaps() []mem.HeapImage {
+	imgs := make([]mem.HeapImage, 0, len(r.M.Procs))
+	for _, p := range r.M.Procs {
+		imgs = append(imgs, p.Heap.Snapshot())
+	}
+	return imgs
+}
+
+// RestoreHeaps overwrites the processors' heap sections with previously
+// captured images. The machine must have the same number of processors
+// the snapshot was taken on.
+func (r *Runtime) RestoreHeaps(imgs []mem.HeapImage) {
+	if len(imgs) != len(r.M.Procs) {
+		panic(fmt.Sprintf("rt: restoring %d heap images onto %d processors", len(imgs), len(r.M.Procs)))
+	}
+	for i, p := range r.M.Procs {
+		p.Heap.Restore(imgs[i])
+	}
 }
 
 // HeapFingerprint hashes the allocated contents of every processor's heap

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BatchRequest is the POST /batch body: a set of run configurations to
+// resolve together. The batch is deduplicated twice before anything
+// executes — exact duplicates collapse onto one run, and configurations
+// sharing a phase-cache key are ordered so the first run materializes
+// the build state the rest restore.
+type BatchRequest struct {
+	Runs []RunRequest `json:"runs"`
+	// DeadlineMS caps each run's time in the service, like the /run
+	// field of the same name.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// BatchItem is one run's outcome within a /batch response, in request
+// order. Status is the per-item HTTP status the same configuration would
+// have received from /run.
+type BatchItem struct {
+	Benchmark  string          `json:"benchmark,omitempty"`
+	Key        string          `json:"key,omitempty"`
+	Status     int             `json:"status"`
+	Cache      string          `json:"cache,omitempty"`
+	PhaseCache string          `json:"phase_cache,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Record     json.RawMessage `json:"record,omitempty"`
+}
+
+// handleBatch resolves a configuration set in one request:
+//
+//  1. normalize every run; invalid ones fail item-locally with 400;
+//  2. collapse exact duplicates onto one execution;
+//  3. serve what the result cache already holds;
+//  4. group the residue by phase-cache key and, per group, execute the
+//     first configuration alone — its build populates the phase cache —
+//     then fan the rest out concurrently as phase hits;
+//  5. answer in request order with per-item status, cache dispositions
+//     and records.
+//
+// Groups themselves run concurrently; the bounded worker pool is still
+// the only execution throttle.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var breq BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(breq.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch (runs is required)")
+		return
+	}
+	if len(breq.Runs) > s.cfg.QueueDepth {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds queue depth %d", len(breq.Runs), s.cfg.QueueDepth))
+		return
+	}
+
+	items := make([]BatchItem, len(breq.Runs))
+	reqs := make([]RunRequest, len(breq.Runs))
+	first := map[string]int{} // key -> index of the item that executes it
+	var order []int           // unique, valid, unserved indices
+	for i, q := range breq.Runs {
+		nq, err := normalize(q)
+		if err != nil {
+			items[i] = BatchItem{Benchmark: q.Benchmark, Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		if breq.DeadlineMS > 0 && nq.DeadlineMS == 0 {
+			nq.DeadlineMS = breq.DeadlineMS
+		}
+		reqs[i] = nq
+		key := nq.Key()
+		items[i] = BatchItem{Benchmark: nq.Benchmark, Key: key}
+		if _, dup := first[key]; dup {
+			items[i].Cache = "dedup"
+			continue
+		}
+		first[key] = i
+		if !nq.NoCache && !nq.Verify {
+			if e, ok := s.cache.get(key); ok {
+				s.cacheHits.Inc()
+				items[i].Status = http.StatusOK
+				items[i].Cache = "hit"
+				items[i].Record = json.RawMessage(e.body)
+				continue
+			}
+			s.cacheMisses.Inc()
+		}
+		order = append(order, i)
+	}
+
+	// Group the residue by phase-cache key; configurations that cannot
+	// share build state each form their own group.
+	groups := map[string][]int{}
+	for _, i := range order {
+		g := "key:" + items[i].Key
+		if !reqs[i].Baseline {
+			if chain, ok := buildChainFor(reqs[i].Benchmark); ok {
+				g = "phase:" + phaseKey(reqs[i], chain)
+			}
+		}
+		groups[g] = append(groups[g], i)
+	}
+
+	var wg sync.WaitGroup
+	for _, idxs := range groups {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			// Warm: the group head builds (or finds) the shared state.
+			s.runBatchItem(r.Context(), reqs[idxs[0]], &items[idxs[0]])
+			// Fan: everyone else restores it concurrently.
+			var fan sync.WaitGroup
+			for _, i := range idxs[1:] {
+				fan.Add(1)
+				go func(i int) {
+					defer fan.Done()
+					s.runBatchItem(r.Context(), reqs[i], &items[i])
+				}(i)
+			}
+			fan.Wait()
+		}(idxs)
+	}
+	wg.Wait()
+
+	// Fill duplicates from the item that executed their key.
+	retryAfter := false
+	cacheHits, phaseHits := 0, 0
+	for i := range items {
+		if items[i].Cache == "dedup" {
+			src := items[first[items[i].Key]]
+			items[i].Status = src.Status
+			items[i].Error = src.Error
+			items[i].Record = src.Record
+		}
+		switch items[i].Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			retryAfter = true
+		}
+		if items[i].Cache == "hit" || items[i].Cache == "dedup" {
+			cacheHits++
+		}
+		if items[i].PhaseCache == "hit" {
+			phaseHits++
+		}
+	}
+	if retryAfter {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+	}
+	w.Header().Set("X-Oldend-Batch",
+		fmt.Sprintf("runs=%d cache-hits=%d phase-hits=%d", len(items), cacheHits, phaseHits))
+	writeJSON(w, http.StatusOK, items)
+}
+
+// runBatchItem pushes one normalized configuration through the same
+// admission queue and worker pool /run uses and fills the item in place.
+func (s *Server) runBatchItem(parent context.Context, req RunRequest, item *BatchItem) {
+	cacheState := "miss"
+	if req.NoCache {
+		cacheState = "bypass"
+	} else if req.Verify {
+		cacheState = "verify"
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(parent, deadline)
+	defer cancel()
+	j := &job{
+		req:      req,
+		key:      item.Key,
+		cache:    cacheState,
+		ctx:      ctx,
+		enqueued: s.cfg.Now(),
+		done:     make(chan result, 1),
+	}
+	switch s.admit(j) {
+	case admitShed:
+		s.shed.Inc()
+		item.Status = http.StatusTooManyRequests
+		item.Error = "admission queue full; retry after backoff"
+		return
+	case admitDraining:
+		item.Status = http.StatusServiceUnavailable
+		item.Error = "server is draining"
+		return
+	}
+	var res result
+	select {
+	case res = <-j.done:
+	case <-ctx.Done():
+		select {
+		case res = <-j.done:
+		default:
+			item.Status = http.StatusGatewayTimeout
+			item.Error = "deadline exceeded: " + ctx.Err().Error()
+			return
+		}
+	}
+	item.Status = res.status
+	item.Cache = res.cache
+	item.PhaseCache = res.phase
+	if res.status != http.StatusOK {
+		item.Error = res.errMsg
+		return
+	}
+	item.Record = json.RawMessage(res.body)
+}

@@ -4,82 +4,113 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/bench"
 	"repro/internal/bench/record"
 )
 
 // cacheEntry is one memoized run result: the canonical response bytes, the
 // decoded record, and the trace digest the determinism argument rests on.
 type cacheEntry struct {
-	key    string
 	body   []byte
 	digest string
 	rec    record.RunRecord
 }
 
-// resultCache is a strict-LRU memo of run results keyed by the canonical
-// run configuration. Eviction order is purely access order and capacity is
-// an entry count, so the cache's behavior is a deterministic function of
-// the request sequence — no clocks, no sizes, no randomness. Soundness of
-// serving from it at all comes from the simulator's determinism: a run's
-// RunRecord (cycles, stats, metrics, trace digest) is a pure function of
-// its configuration, so the memoized bytes are exactly what a re-run
-// would produce.
-type resultCache struct {
+// lruCache is a strict-LRU memo keyed by canonical strings. Eviction
+// order is purely access order and capacity is an entry count, so the
+// cache's behavior is a deterministic function of the request sequence —
+// no clocks, no sizes, no randomness. The server runs two of these:
+//
+//   - the result cache (lruCache[*cacheEntry]) memoizes whole run
+//     records, keyed by the full canonical configuration. Soundness
+//     comes from the simulator's determinism: a RunRecord is a pure
+//     function of its configuration, so the memoized bytes are exactly
+//     what a re-run would produce.
+//
+//   - the phase cache (lruCache[*bench.BuildState]) memoizes build-phase
+//     boundaries, keyed by (benchmark, machine size, scale, build chain
+//     digest) — deliberately NOT by scheme or mode. Soundness comes from
+//     the static phase plan: the build chain digest names a proven
+//     scheme-invariant prefix, so one configuration's heap images serve
+//     every configuration that agrees on the key.
+type lruCache[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 }
 
-// newResultCache returns a cache holding up to capacity entries; zero or
-// negative capacity disables caching (every lookup misses, puts drop).
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{
+// lruItem pairs a value with its key so eviction can unlink the index.
+type lruItem[V any] struct {
+	key string
+	val V
+}
+
+// newLRU returns a cache holding up to capacity entries; zero or negative
+// capacity disables caching (every lookup misses, puts drop).
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}
 }
 
-// get returns the entry under key, promoting it to most recently used.
-func (c *resultCache) get(key string) (*cacheEntry, bool) {
+// get returns the value under key, promoting it to most recently used.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	var zero V
 	if c.cap <= 0 {
-		return nil, false
+		return zero, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry), true
+	return el.Value.(*lruItem[V]).val, true
 }
 
-// put inserts or refreshes the entry under its key, evicting the least
+// put inserts or refreshes the entry under key, evicting the least
 // recently used entry when over capacity.
-func (c *resultCache) put(e *cacheEntry) {
+func (c *lruCache[V]) put(key string, v V) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[e.key]; ok {
-		el.Value = e
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem[V]).val = v
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[e.key] = c.ll.PushFront(e)
+	c.items[key] = c.ll.PushFront(&lruItem[V]{key: key, val: v})
 	for c.ll.Len() > c.cap {
 		old := c.ll.Back()
 		c.ll.Remove(old)
-		delete(c.items, old.Value.(*cacheEntry).key)
+		delete(c.items, old.Value.(*lruItem[V]).key)
 	}
 }
 
 // len reports the number of cached entries.
-func (c *resultCache) len() int {
+func (c *lruCache[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// keys returns the cached keys from most to least recently used; tests
+// assert eviction order through it.
+func (c *lruCache[V]) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruItem[V]).key)
+	}
+	return out
+}
+
+type resultCache = lruCache[*cacheEntry]
+type phaseCache = lruCache[*bench.BuildState]

@@ -30,6 +30,7 @@ type logExtra struct {
 	Benchmark   string `json:"benchmark,omitempty"`
 	Key         string `json:"key,omitempty"`
 	Cache       string `json:"cache,omitempty"`
+	PhaseCache  string `json:"phase_cache,omitempty"`
 	QueueWaitUS int64  `json:"queue_wait_us,omitempty"`
 	RunUS       int64  `json:"run_us,omitempty"`
 }
@@ -83,6 +84,7 @@ type extraKey struct{}
 // Handler returns the service's HTTP surface:
 //
 //	POST /run         execute (or memo-serve) one benchmark run
+//	POST /batch       execute a set of runs, deduped against both caches
 //	POST /analyze     static effect/cost analysis with budget admission
 //	GET  /benchmarks  the shared machine-readable catalog
 //	GET  /metrics     Prometheus exposition of the server registry
@@ -94,6 +96,7 @@ type extraKey struct{}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -233,6 +236,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	extra.Cache = res.cache
+	extra.PhaseCache = res.phase
 	extra.QueueWaitUS = res.queueWaitUS
 	extra.RunUS = res.runUS
 	if res.status != http.StatusOK {
@@ -240,6 +244,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Oldend-Cache", res.cache)
+	if res.phase != "" {
+		w.Header().Set("X-Oldend-Phase-Cache", res.phase)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(res.body)

@@ -66,6 +66,11 @@ func (q RunRequest) Key() string {
 // controllable fakes to exercise queueing without timing dependence.
 type ExecuteFunc func(req RunRequest) (record.RunRecord, error)
 
+// ExecutePhasedFunc is ExecuteFunc with the phase-cache disposition:
+// "hit" (build state restored), "miss" (built and stored) or "none" (the
+// configuration is not phase-cacheable).
+type ExecutePhasedFunc func(req RunRequest) (record.RunRecord, string, error)
+
 // Config tunes a Server. The zero value is usable: every field has a
 // default chosen for a small local instance.
 type Config struct {
@@ -79,6 +84,11 @@ type Config struct {
 	// CacheEntries is the result-cache capacity in entries; 0 picks the
 	// default (256), negative disables memoization.
 	CacheEntries int
+	// PhaseCacheEntries is the phase-cache capacity: memoized build-phase
+	// boundaries shared across schemes and modes, admitted only for
+	// benchmarks whose static phase plan certifies an invariant build
+	// chain. 0 picks the default (64), negative disables it.
+	PhaseCacheEntries int
 	// DefaultDeadline applies when a request names none (default 60s);
 	// MaxDeadline caps what a request may ask for (default 5m).
 	DefaultDeadline time.Duration
@@ -92,8 +102,13 @@ type Config struct {
 	// AccessLog, when non-nil, receives one JSON object per request.
 	AccessLog *AccessLogger
 	// Execute substitutes the run executor (tests); nil means the real
-	// benchmark executor.
+	// benchmark executor. A substituted executor bypasses the phase
+	// cache; use ExecutePhased to substitute that path too.
 	Execute ExecuteFunc
+	// ExecutePhased substitutes the phase-aware executor (tests); when
+	// both it and Execute are nil the server uses its own phase-cached
+	// benchmark executor.
+	ExecutePhased ExecutePhasedFunc
 	// Now substitutes the wall clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -108,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.PhaseCacheEntries == 0 {
+		c.PhaseCacheEntries = 64
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 60 * time.Second
 	}
@@ -119,9 +137,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
-	}
-	if c.Execute == nil {
-		c.Execute = defaultExecute
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -137,6 +152,7 @@ type result struct {
 	body        []byte
 	errMsg      string
 	cache       string // hit | miss | bypass | verify
+	phase       string // hit | miss | none | "" (executor has no phase path)
 	queueWaitUS int64
 	runUS       int64
 }
@@ -154,8 +170,13 @@ type job struct {
 // Server is the oldend service core. Create with New, mount Handler, and
 // call Shutdown to drain.
 type Server struct {
-	cfg   Config
-	cache *resultCache
+	cfg    Config
+	cache  *resultCache
+	phases *phaseCache
+	// execute is the worker's run path: the substituted Execute, the
+	// substituted ExecutePhased, or the server's own phase-cached
+	// executor.
+	execute ExecutePhasedFunc
 
 	queue    chan *job
 	wg       sync.WaitGroup
@@ -169,6 +190,8 @@ type Server struct {
 	cacheMisses *metrics.Counter
 	verifyOK    *metrics.Counter
 	verifyBad   *metrics.Counter
+	phaseHits   *metrics.Counter
+	phaseMisses *metrics.Counter
 	inflight    *metrics.Gauge
 	queueWait   *metrics.Histogram
 	runLatency  *metrics.Histogram
@@ -179,9 +202,21 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:    cfg,
+		cache:  newLRU[*cacheEntry](cfg.CacheEntries),
+		phases: newLRU[*bench.BuildState](cfg.PhaseCacheEntries),
+		queue:  make(chan *job, cfg.QueueDepth),
+	}
+	switch {
+	case cfg.Execute != nil:
+		s.execute = func(req RunRequest) (record.RunRecord, string, error) {
+			rec, err := cfg.Execute(req)
+			return rec, "", err
+		}
+	case cfg.ExecutePhased != nil:
+		s.execute = cfg.ExecutePhased
+	default:
+		s.execute = s.defaultExecutePhased
 	}
 	m := cfg.Metrics
 	m.SetHelp("oldend_requests_total", "Requests served, by endpoint and status code.")
@@ -190,6 +225,9 @@ func New(cfg Config) *Server {
 	m.SetHelp("oldend_cache_hits_total", "Run requests served from the deterministic result cache.")
 	m.SetHelp("oldend_cache_misses_total", "Run requests that executed because no memoized result existed.")
 	m.SetHelp("oldend_cache_verify_total", "Cache-verification re-runs, by outcome (determinism cross-checks).")
+	m.SetHelp("oldend_phase_cache_hits_total", "Runs that restored a memoized build-phase boundary instead of rebuilding.")
+	m.SetHelp("oldend_phase_cache_misses_total", "Phase-cacheable runs that built (and memoized) their build state.")
+	m.SetHelp("oldend_phase_cache_entries", "Build-phase boundaries resident in the phase cache right now.")
 	m.SetHelp("oldend_queue_depth", "Jobs waiting in the admission queue right now.")
 	m.SetHelp("oldend_cache_entries", "Entries resident in the result cache right now.")
 	m.SetHelp("oldend_inflight_runs", "Simulations executing on the worker pool right now.")
@@ -203,12 +241,15 @@ func New(cfg Config) *Server {
 	s.cacheMisses = m.Counter("oldend_cache_misses_total")
 	s.verifyOK = m.Counter("oldend_cache_verify_total", metrics.L("outcome", "match"))
 	s.verifyBad = m.Counter("oldend_cache_verify_total", metrics.L("outcome", "mismatch"))
+	s.phaseHits = m.Counter("oldend_phase_cache_hits_total")
+	s.phaseMisses = m.Counter("oldend_phase_cache_misses_total")
 	s.inflight = m.Gauge("oldend_inflight_runs")
 	s.queueWait = m.Histogram("oldend_queue_wait_us")
 	s.runLatency = m.Histogram("oldend_run_us")
 	s.simCycles = m.Counter("oldend_sim_cycles_total")
 	m.RegisterFunc("oldend_queue_depth", metrics.KindGauge, func() int64 { return int64(len(s.queue)) })
 	m.RegisterFunc("oldend_cache_entries", metrics.KindGauge, func() int64 { return int64(s.cache.len()) })
+	m.RegisterFunc("oldend_phase_cache_entries", metrics.KindGauge, func() int64 { return int64(s.phases.len()) })
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -286,7 +327,7 @@ func (s *Server) worker() {
 		}
 		s.inflight.Add(1)
 		start := s.cfg.Now()
-		rec, err := s.cfg.Execute(j.req)
+		rec, phase, err := s.execute(j.req)
 		s.inflight.Add(-1)
 		runUS := s.cfg.Now().Sub(start).Microseconds()
 		s.runLatency.Observe(runUS)
@@ -301,7 +342,7 @@ func (s *Server) worker() {
 		}
 		s.cfg.Metrics.Counter("oldend_runs_total", metrics.L("benchmark", j.req.Benchmark)).Inc()
 		s.simCycles.Add(rec.Cycles)
-		res := result{status: http.StatusOK, body: body, cache: j.cache, queueWaitUS: wait, runUS: runUS}
+		res := result{status: http.StatusOK, body: body, cache: j.cache, phase: phase, queueWaitUS: wait, runUS: runUS}
 		if j.req.Verify {
 			if hit, ok := s.cache.get(j.key); ok {
 				if hit.digest == rec.TraceDigest {
@@ -319,7 +360,7 @@ func (s *Server) worker() {
 			}
 		}
 		if res.status == http.StatusOK && !j.req.NoCache {
-			s.cache.put(&cacheEntry{key: j.key, body: body, digest: rec.TraceDigest, rec: rec})
+			s.cache.put(j.key, &cacheEntry{body: body, digest: rec.TraceDigest, rec: rec})
 		}
 		j.done <- res
 	}
@@ -377,37 +418,6 @@ func normalize(q RunRequest) (RunRequest, error) {
 		return q, fmt.Errorf("deadline_ms must be >= 0")
 	}
 	return q, nil
-}
-
-// defaultExecute runs the benchmark for real: a fresh machine + runtime
-// per job (nothing shared with concurrent runs), the trace recorder and
-// metrics registry attached so the record carries the digest that makes
-// memoization verifiable. An unverified run — wrong answer versus the
-// sequential reference — is an executor error, never a cacheable result.
-func defaultExecute(req RunRequest) (record.RunRecord, error) {
-	info, ok := bench.Get(req.Benchmark)
-	if !ok {
-		return record.RunRecord{}, fmt.Errorf("unknown benchmark %q", req.Benchmark)
-	}
-	scheme, err := coherence.Parse(req.Scheme)
-	if err != nil {
-		return record.RunRecord{}, err
-	}
-	mode, err := rt.ParseMode(req.Mode)
-	if err != nil {
-		return record.RunRecord{}, err
-	}
-	res, rec := bench.RunRecorded(info, bench.Config{
-		Baseline: req.Baseline,
-		Procs:    req.Procs,
-		Scale:    req.Scale,
-		Scheme:   scheme,
-		Mode:     mode,
-	})
-	if !res.Verified() {
-		return rec, fmt.Errorf("%s run failed verification: %#x != %#x", req.Benchmark, res.Check, res.WantCheck)
-	}
-	return rec, nil
 }
 
 func (s *Server) retryAfterSeconds() string {

@@ -484,8 +484,8 @@ func (b *syncBuffer) String() string {
 
 // TestResultCacheLRU pins the deterministic eviction order.
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	put := func(k string) { c.put(&cacheEntry{key: k, body: []byte(k)}) }
+	c := newLRU[*cacheEntry](2)
+	put := func(k string) { c.put(k, &cacheEntry{body: []byte(k)}) }
 	put("a")
 	put("b")
 	if _, ok := c.get("a"); !ok { // promotes a
@@ -502,13 +502,13 @@ func TestResultCacheLRU(t *testing.T) {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 	// refresh replaces in place
-	c.put(&cacheEntry{key: "a", body: []byte("a2")})
+	c.put("a", &cacheEntry{body: []byte("a2")})
 	if e, _ := c.get("a"); string(e.body) != "a2" {
 		t.Fatal("refresh did not replace body")
 	}
 	// disabled cache never stores
-	d := newResultCache(-1)
-	d.put(&cacheEntry{key: "x"})
+	d := newLRU[*cacheEntry](-1)
+	d.put("x", &cacheEntry{})
 	if _, ok := d.get("x"); ok || d.len() != 0 {
 		t.Fatal("disabled cache stored an entry")
 	}

@@ -4,10 +4,11 @@
 // (speedups, miss rates) alongside Go's wall-clock numbers:
 //
 //	go test -bench=Table2 -benchmem
-//	go test -bench=. -benchtime=1x BENCH_SCALE=8
+//	BENCH_SCALE=8 go test -bench=. -benchtime=1x
 //
 // Problem sizes default to 1/64 of the paper's so the full suite stays
-// fast; cmd/oldenbench regenerates the tables at any scale.
+// fast (BENCH_SCALE divides the paper sizes instead when set to a positive
+// integer); cmd/oldenbench regenerates the tables at any scale.
 package repro_test
 
 import (
@@ -32,8 +33,13 @@ import (
 	_ "repro/internal/bench/voronoi"
 )
 
-// benchScale is the default size divisor for the testing.B harness.
+// benchScale is the default size divisor for the testing.B harness; the
+// BENCH_SCALE environment knob overrides it (parsed by parseBenchScale in
+// wallclock_bench_test.go, which also pins the parsing contract).
 const benchScale = 64
+
+// suiteScale is the effective divisor for this process.
+var suiteScale = envScale(benchScale)
 
 // benchProcs is the machine size the Table 2 benchmarks report speedup at.
 const benchProcs = 8
@@ -46,8 +52,8 @@ func BenchmarkTable2(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var base, par bench.Result
 			for i := 0; i < b.N; i++ {
-				base = info.Run(bench.Config{Baseline: true, Scale: benchScale})
-				par = info.Run(bench.Config{Procs: benchProcs, Scale: benchScale})
+				base = info.Run(bench.Config{Baseline: true, Scale: suiteScale})
+				par = info.Run(bench.Config{Procs: benchProcs, Scale: suiteScale})
 			}
 			if !base.Verified() || !par.Verified() {
 				b.Fatalf("verification failed")
@@ -70,8 +76,8 @@ func BenchmarkTable2MigrateOnly(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var base, mo bench.Result
 			for i := 0; i < b.N; i++ {
-				base = info.Run(bench.Config{Baseline: true, Scale: benchScale})
-				mo = info.Run(bench.Config{Procs: benchProcs, Scale: benchScale, Mode: rt.MigrateOnly})
+				base = info.Run(bench.Config{Baseline: true, Scale: suiteScale})
+				mo = info.Run(bench.Config{Procs: benchProcs, Scale: suiteScale, Mode: rt.MigrateOnly})
 			}
 			if !base.Verified() || !mo.Verified() {
 				b.Fatal("verification failed")
@@ -94,7 +100,7 @@ func BenchmarkTable3(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", name, scheme), func(b *testing.B) {
 				var res bench.Result
 				for i := 0; i < b.N; i++ {
-					res = info.Run(bench.Config{Procs: benchProcs, Scale: benchScale, Scheme: scheme})
+					res = info.Run(bench.Config{Procs: benchProcs, Scale: suiteScale, Scheme: scheme})
 				}
 				if !res.Verified() {
 					b.Fatal("verification failed")
@@ -223,7 +229,7 @@ func BenchmarkAblationCoherence(b *testing.B) {
 		b.Run(scheme.String(), func(b *testing.B) {
 			var res bench.Result
 			for i := 0; i < b.N; i++ {
-				res = info.Run(bench.Config{Procs: benchProcs, Scale: benchScale, Scheme: scheme})
+				res = info.Run(bench.Config{Procs: benchProcs, Scale: suiteScale, Scheme: scheme})
 			}
 			if !res.Verified() {
 				b.Fatal("verification failed")

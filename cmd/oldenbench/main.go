@@ -29,6 +29,14 @@
 // benchmark run on stdout; cmd/oldenreport renders and gates the pinned
 // files.
 //
+// Simulator throughput (wall clock, host-dependent — never pinned):
+//
+//	oldenbench -wallclock WALLCLOCK.json -maxprocs 4   # ns/sim-cycle
+//
+// times every benchmark × coherence scheme (best of -wallcount runs) and
+// writes a WallFile; `oldenreport -wallclock` renders it as the report's
+// ns/sim-cycle section.
+//
 // -list prints the machine-readable benchmark catalog (names, coherence
 // schemes, mechanism modes, default parameters) as JSON — byte-identical
 // to oldend's GET /benchmarks, so clients of either can never drift.
@@ -43,6 +51,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/bench/record"
@@ -75,6 +84,8 @@ func main() {
 	profile := flag.Bool("profile", false, "with -bench: print per-site and per-page profiles")
 	jsonOut := flag.Bool("json", false, "emit one RunRecord JSON object per benchmark run on stdout (human output moves to stderr)")
 	recordDir := flag.String("record", "", "run the pinned record suite at -maxprocs/-scale and write BENCH_<name>.json files into this directory")
+	wallclock := flag.String("wallclock", "", "measure wall-clock ns/simulated-cycle for every benchmark × scheme at -maxprocs/-scale and write the (non-pinned) WallFile JSON here")
+	wallCount := flag.Int("wallcount", 3, "with -wallclock: timed repetitions per configuration (best-of wins)")
 	update := flag.Bool("update", false, "shorthand for -record . : re-pin the committed BENCH_<name>.json baselines")
 	list := flag.Bool("list", false, "print the machine-readable benchmark catalog (names, schemes, modes, default params) as JSON and exit")
 	flag.Parse()
@@ -114,6 +125,8 @@ func main() {
 	}
 
 	switch {
+	case *wallclock != "":
+		runWallclock(out, *wallclock, *benchName, *maxProcs, *scale, *wallCount)
 	case *update || *recordDir != "":
 		dir := *recordDir
 		if *update {
@@ -180,6 +193,57 @@ func runRecordSuite(out io.Writer, dir, only string, procs, scale int) {
 			float64(base.Cycles)/float64(heur.Cycles),
 			filepath.Join(dir, record.Filename(name)))
 	}
+}
+
+// runWallclock times every benchmark (or just `only`) under every
+// coherence scheme at P=procs and writes the measurements as a WallFile.
+// Unlike the pinned records this artifact is host-dependent by nature:
+// the simulated cycle counts inside it are deterministic, the wall times
+// are not, so it is never committed and never gated — oldenreport's
+// -wallclock flag renders it as the ns/sim-cycle section.
+func runWallclock(out io.Writer, path, only string, procs, scale, count int) {
+	if count < 1 {
+		count = 1
+	}
+	names := bench.Names()
+	if only != "" {
+		if _, ok := bench.Get(only); !ok {
+			fatalf("unknown benchmark %q (want one of %s)", only, strings.Join(bench.Names(), ", "))
+		}
+		names = []string{only}
+	}
+	var wf record.WallFile
+	for _, name := range names {
+		info, _ := bench.Get(name)
+		for _, scheme := range coherence.Kinds() {
+			cfg := bench.Config{Procs: procs, Scale: scale, Scheme: scheme}
+			var cycles int64
+			best := int64(-1)
+			for i := 0; i < count; i++ {
+				start := time.Now()
+				res := info.Run(cfg)
+				ns := time.Since(start).Nanoseconds()
+				if !res.Verified() {
+					fatalf("wallclock %s/%s: check %#x != %#x", name, scheme, res.Check, res.WantCheck)
+				}
+				cycles = res.Cycles
+				if best < 0 || ns < best {
+					best = ns
+				}
+			}
+			rec := record.WallRecord{
+				Benchmark: name, Procs: procs, Scheme: scheme.String(),
+				Scale: scale, Runs: count, Cycles: cycles, WallNs: best,
+			}
+			fmt.Fprintf(out, "%-12s %-9s P=%d: %d cycles in %.2f ms — %.1f ns/sim-cycle\n",
+				name, scheme, procs, rec.Cycles, float64(rec.WallNs)/1e6, rec.NsPerCycle())
+			wf.Records = append(wf.Records, rec)
+		}
+	}
+	if err := wf.SaveWall(path); err != nil {
+		fatalf("save wallclock: %v", err)
+	}
+	fmt.Fprintf(out, "geomean %.1f ns/sim-cycle -> %s\n", wf.Geomean(), path)
 }
 
 // runTraced runs one benchmark with the event recorder attached and

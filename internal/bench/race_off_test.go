@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+const raceDetectorEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package bench_test
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// The digest battery trims itself under the race detector (see
+// sched_differential_test.go): race checking multiplies the channel
+// scheduler's goroutine handoffs by an order of magnitude, and the value
+// of the race run is exercising that concurrency at all — the full
+// 60-config equivalence sweep still runs in every non-race test job.
+const raceDetectorEnabled = true

@@ -10,7 +10,7 @@ package cache
 
 import (
 	"math/bits"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/gaddr"
 )
@@ -18,6 +18,12 @@ import (
 // NumBuckets is the size of the translation hash table ("a 1K hash table
 // with a list of pages kept in each bucket").
 const NumBuckets = 1024
+
+// slabEntries sizes the entry and page-data slabs: page entries are carved
+// out of block allocations instead of being allocated one by one, so a
+// kernel faulting in thousands of pages costs dozens of allocations, not
+// thousands, and entries born together sit contiguously in memory.
+const slabEntries = 64
 
 // Entry is one cached page: the tag used to translate global to local
 // pointers, the per-line valid bits, and — for the coherence schemes of
@@ -31,14 +37,20 @@ type Entry struct {
 	next  *Entry
 }
 
-// Cache is one processor's software cache. It is internally synchronized:
-// several logical threads may occupy the same processor concurrently in
-// real time even though they serialize in virtual time.
+// Cache is one processor's software cache. It is NOT internally locked:
+// every simulation-path method is only ever invoked by the virtual-time
+// active thread, and the scheduler's handoffs order those accesses across
+// goroutines. The one reader outside that discipline — a metrics scrape of
+// PagesAllocated mid-run — reads an atomic counter.
 type Cache struct {
-	mu      sync.Mutex
 	buckets [NumBuckets]*Entry
 	entries int
-	allocs  int64 // pages ever allocated (Table 3 "Total Pages Cached")
+	allocs  atomic.Int64 // pages ever allocated (Table 3 "Total Pages Cached")
+
+	// slab and arena are the block-allocation cursors entries and their
+	// page data are carved from.
+	slab  []Entry
+	arena []uint64
 }
 
 // New returns an empty cache.
@@ -58,6 +70,42 @@ func (c *Cache) find(p gaddr.PageID) *Entry {
 	return nil
 }
 
+// alloc carves a fresh entry (with zeroed page data) out of the slabs and
+// links it into its bucket.
+func (c *Cache) alloc(p gaddr.PageID) *Entry {
+	if len(c.slab) == 0 {
+		c.slab = make([]Entry, slabEntries)
+	}
+	e := &c.slab[0]
+	c.slab = c.slab[1:]
+	if len(c.arena) < gaddr.WordsPerPage {
+		c.arena = make([]uint64, gaddr.WordsPerPage*slabEntries)
+	}
+	e.Data = c.arena[:gaddr.WordsPerPage:gaddr.WordsPerPage]
+	c.arena = c.arena[gaddr.WordsPerPage:]
+	e.Page = p
+	b := bucketOf(p)
+	e.next = c.buckets[b]
+	c.buckets[b] = e
+	c.entries++
+	c.allocs.Add(1)
+	return e
+}
+
+// Hit is the resident-line fast path: one hash-chain walk deciding whether
+// the line containing g can be served from the cache with no further
+// protocol work — page present, line valid, entry not marked stale. When
+// it returns ok=false the caller falls back to Probe (and, under the
+// bilateral scheme, the timestamp check), which re-derives the same state;
+// Hit itself never allocates and never mutates the cache.
+func (c *Cache) Hit(g gaddr.GP) (e *Entry, ok bool) {
+	e = c.find(gaddr.PageOf(g))
+	if e == nil || e.Stale || e.Valid&(1<<uint(gaddr.LineOf(g))) == 0 {
+		return e, false
+	}
+	return e, true
+}
+
 // Probe looks up the page containing g, allocating an entry if the page is
 // not present. It reports whether the page was newly allocated and whether
 // the line containing g is valid. The entry's Stale flag is returned so the
@@ -66,56 +114,36 @@ func (c *Cache) find(p gaddr.PageID) *Entry {
 func (c *Cache) Probe(g gaddr.GP) (e *Entry, pageNew, lineValid bool) {
 	p := gaddr.PageOf(g)
 	line := gaddr.LineOf(g)
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	e = c.find(p)
 	if e == nil {
-		e = &Entry{Page: p, Data: make([]uint64, gaddr.WordsPerPage)}
-		b := bucketOf(p)
-		e.next = c.buckets[b]
-		c.buckets[b] = e
-		c.entries++
-		c.allocs++
+		e = c.alloc(p)
 		pageNew = true
 	}
 	lineValid = e.Valid&(1<<uint(line)) != 0
 	return e, pageNew, lineValid
 }
 
-// LineState reads an entry's valid bit for one line and its staleness mark
-// under the cache lock (entries are shared between threads occupying the
-// processor).
+// LineState reads an entry's valid bit for one line and its staleness mark.
 func (c *Cache) LineState(e *Entry, line int) (valid, stale bool) {
-	c.mu.Lock()
-	valid = e.Valid&(1<<uint(line)) != 0
-	stale = e.Stale
-	c.mu.Unlock()
-	return valid, stale
+	return e.Valid&(1<<uint(line)) != 0, e.Stale
 }
 
 // InstallLine copies a fetched 64-byte line into the entry and marks it
 // valid.
 func (c *Cache) InstallLine(e *Entry, line int, words []uint64) {
-	c.mu.Lock()
 	copy(e.Data[line*gaddr.WordsPerLine:(line+1)*gaddr.WordsPerLine], words)
 	e.Valid |= 1 << uint(line)
-	c.mu.Unlock()
 }
 
 // ReadWord reads the word at byte offset pageOff within the cached page.
 func (c *Cache) ReadWord(e *Entry, pageOff uint32) uint64 {
-	c.mu.Lock()
-	v := e.Data[pageOff/gaddr.WordBytes]
-	c.mu.Unlock()
-	return v
+	return e.Data[pageOff/gaddr.WordBytes]
 }
 
 // WriteWord updates the local copy (the home copy is updated separately by
 // the write-through).
 func (c *Cache) WriteWord(e *Entry, pageOff uint32, v uint64) {
-	c.mu.Lock()
 	e.Data[pageOff/gaddr.WordBytes] = v
-	c.mu.Unlock()
 }
 
 // InvalidateAll clears every valid bit (local-knowledge scheme: "each
@@ -125,7 +153,6 @@ func (c *Cache) WriteWord(e *Entry, pageOff uint32, v uint64) {
 // were actually valid — the data the flush really discarded, which the
 // trace layer records to expose over-invalidation.
 func (c *Cache) InvalidateAll() (lines int) {
-	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
 			lines += bits.OnesCount32(e.Valid)
@@ -133,7 +160,6 @@ func (c *Cache) InvalidateAll() (lines int) {
 			e.Stale = false
 		}
 	}
-	c.mu.Unlock()
 	return lines
 }
 
@@ -143,7 +169,6 @@ func (c *Cache) InvalidateAll() (lines int) {
 // copies of lines from processors whose memories have been written by the
 // returning thread." It returns the number of valid lines discarded.
 func (c *Cache) InvalidateHomes(procMask uint64) (lines int) {
-	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
 			if procMask&(1<<uint(e.Page.Proc())) != 0 {
@@ -153,7 +178,6 @@ func (c *Cache) InvalidateHomes(procMask uint64) (lines int) {
 			}
 		}
 	}
-	c.mu.Unlock()
 	return lines
 }
 
@@ -164,8 +188,6 @@ func (c *Cache) InvalidateHomes(procMask uint64) (lines int) {
 // receive invalidations for lines it never cached (the "spurious
 // invalidation messages" the paper notes in Appendix A).
 func (c *Cache) InvalidateLines(p gaddr.PageID, lineMask uint32) (cleared uint32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	e := c.find(p)
 	if e == nil {
 		return 0
@@ -179,7 +201,6 @@ func (c *Cache) InvalidateLines(p gaddr.PageID, lineMask uint32) (cleared uint32
 // receiving a migration, a processor marks all of its pages, so that they
 // miss on the first access"). It returns the number of pages marked.
 func (c *Cache) MarkAllStale() (pages int) {
-	c.mu.Lock()
 	for b := range c.buckets {
 		for e := c.buckets[b]; e != nil; e = e.next {
 			if e.Valid != 0 {
@@ -188,7 +209,6 @@ func (c *Cache) MarkAllStale() (pages int) {
 			}
 		}
 	}
-	c.mu.Unlock()
 	return pages
 }
 
@@ -197,44 +217,52 @@ func (c *Cache) MarkAllStale() (pages int) {
 // staleness mark clears. It returns the number of valid lines the refresh
 // discarded (like the other invalidation paths).
 func (c *Cache) Refresh(e *Entry, changed uint32, newStamp uint32) (lines int) {
-	c.mu.Lock()
 	lines = bits.OnesCount32(e.Valid & changed)
 	e.Valid &^= changed
 	e.Stamp = newStamp
 	e.Stale = false
-	c.mu.Unlock()
 	return lines
 }
 
-// Clear drops every entry (used between benchmark phases).
+// Clear drops every entry (used between benchmark phases). The slabs are
+// dropped too: entries carved before the clear keep whole blocks alive,
+// so reusing their tails would only delay reclamation.
 func (c *Cache) Clear() {
-	c.mu.Lock()
 	for b := range c.buckets {
 		c.buckets[b] = nil
 	}
 	c.entries = 0
-	c.mu.Unlock()
+	c.slab = nil
+	c.arena = nil
+}
+
+// keys returns every cached page in bucket order, each hash chain walked
+// newest-insertion-first — the same introspection idiom as the serving
+// layer's generic-LRU keys(). The software cache never evicts (entries
+// persist until Clear), so chain position is pure insertion order; the
+// fast-path equivalence tests assert through this that Hit never disturbs
+// the table.
+func (c *Cache) keys() []gaddr.PageID {
+	out := make([]gaddr.PageID, 0, c.entries)
+	for b := range c.buckets {
+		for e := c.buckets[b]; e != nil; e = e.next {
+			out = append(out, e.Page)
+		}
+	}
+	return out
 }
 
 // Entries returns the number of live page entries.
-func (c *Cache) Entries() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.entries
-}
+func (c *Cache) Entries() int { return c.entries }
 
 // PagesAllocated returns the cumulative number of page entries allocated.
-func (c *Cache) PagesAllocated() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.allocs
-}
+// Unlike every other method it may be called from outside the virtual-time
+// discipline (the metrics registry scrapes it mid-run), hence the atomic.
+func (c *Cache) PagesAllocated() int64 { return c.allocs.Load() }
 
 // AvgChainLength returns the mean hash-chain length over non-empty buckets;
 // the paper reports this is approximately one in practice.
 func (c *Cache) AvgChainLength() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	used := 0
 	for b := range c.buckets {
 		if c.buckets[b] != nil {

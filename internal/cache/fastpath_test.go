@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gaddr"
+)
+
+// lineAddr builds a global pointer on proc 0 at the given page index and
+// line.
+func lineAddr(page, line int) gaddr.GP {
+	return gaddr.Pack(0, uint32(page*gaddr.PageBytes+line*gaddr.LineBytes))
+}
+
+// TestHitProbeEquivalenceTable drives the fast path and the slow path
+// through every reachable line state and requires them to agree: Hit must
+// report ok exactly when Probe would find the line valid on a non-stale,
+// already-resident page, and both must resolve the same entry.
+func TestHitProbeEquivalenceTable(t *testing.T) {
+	line0 := make([]uint64, gaddr.WordsPerLine)
+	cases := []struct {
+		name  string
+		setup func(c *Cache, g gaddr.GP)
+		ok    bool
+	}{
+		{"absent page", func(c *Cache, g gaddr.GP) {}, false},
+		{"present page, invalid line", func(c *Cache, g gaddr.GP) {
+			c.Probe(g)
+		}, false},
+		{"valid line", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g), line0)
+		}, true},
+		{"valid but stale", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g), line0)
+			c.MarkAllStale()
+		}, false},
+		{"stale then refreshed, line untouched", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g), line0)
+			c.MarkAllStale()
+			c.Refresh(e, 0, 7)
+		}, true},
+		{"stale then refreshed, line changed at home", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g), line0)
+			c.MarkAllStale()
+			c.Refresh(e, 1<<uint(gaddr.LineOf(g)), 7)
+		}, false},
+		{"valid line invalidated", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g), line0)
+			c.InvalidateAll()
+		}, false},
+		{"neighbouring line valid only", func(c *Cache, g gaddr.GP) {
+			e, _, _ := c.Probe(g)
+			c.InstallLine(e, gaddr.LineOf(g)+1, line0)
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New()
+			g := lineAddr(3, 2)
+			tc.setup(c, g)
+			e, ok := c.Hit(g)
+			if ok != tc.ok {
+				t.Fatalf("Hit ok = %v; want %v", ok, tc.ok)
+			}
+			// The slow path must agree with the fast path's verdict and,
+			// when the page is resident, resolve the identical entry.
+			before := c.Entries()
+			pe, pageNew, lineValid := c.Probe(g)
+			slowOK := !pageNew && lineValid && !pe.Stale
+			if slowOK != tc.ok {
+				t.Fatalf("Probe-derived ok = %v; want %v", slowOK, tc.ok)
+			}
+			if e != nil && e != pe {
+				t.Fatalf("fast and slow paths resolved different entries")
+			}
+			if !pageNew && c.Entries() != before {
+				t.Fatalf("Probe of a resident page changed entry count")
+			}
+		})
+	}
+}
+
+// modelPage is the oracle's view of one cached page.
+type modelPage struct {
+	valid uint32
+	stale bool
+}
+
+// TestHitProbeEquivalenceRandom replays a long randomized operation
+// sequence against both the cache and a flat model, checking after every
+// step that (1) Hit agrees with the model's present/valid/stale state,
+// (2) Hit never mutates the table — entry count, insertion order (keys)
+// and line states are bit-identical before and after, and (3) Probe's
+// pageNew/lineValid agree with the model. Insertion order is the hash
+// table's analogue of the LRU eviction-order property: entries enter at
+// the head of their bucket chain and never move.
+func TestHitProbeEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	c := New()
+	model := map[gaddr.PageID]*modelPage{}
+	var insertion []gaddr.PageID // pages in model insertion order
+	line0 := make([]uint64, gaddr.WordsPerLine)
+
+	// expectKeys derives the cache's expected keys() from the model: per
+	// bucket, pages inserted into that bucket, newest first.
+	expectKeys := func() []gaddr.PageID {
+		var out []gaddr.PageID
+		for b := 0; b < NumBuckets; b++ {
+			for i := len(insertion) - 1; i >= 0; i-- {
+				if bucketOf(insertion[i]) == b {
+					out = append(out, insertion[i])
+				}
+			}
+		}
+		return out
+	}
+	sameKeys := func(a, b []gaddr.PageID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const pages, lines, steps = 40, 8, 4000
+	randAddr := func() gaddr.GP { return lineAddr(rng.Intn(pages), rng.Intn(lines)) }
+
+	for step := 0; step < steps; step++ {
+		g := randAddr()
+		p := gaddr.PageOf(g)
+		line := gaddr.LineOf(g)
+		switch op := rng.Intn(10); {
+		case op < 4: // probe (+ install on miss), like a cache access
+			e, pageNew, lineValid := c.Probe(g)
+			m := model[p]
+			if pageNew != (m == nil) {
+				t.Fatalf("step %d: Probe pageNew = %v with model presence %v", step, pageNew, m != nil)
+			}
+			if m == nil {
+				m = &modelPage{}
+				model[p] = m
+				insertion = append(insertion, p)
+			}
+			if lineValid != (m.valid&(1<<uint(line)) != 0) {
+				t.Fatalf("step %d: Probe lineValid = %v; model says %v", step, lineValid, !lineValid)
+			}
+			if !lineValid {
+				c.InstallLine(e, line, line0)
+				m.valid |= 1 << uint(line)
+			}
+		case op < 5: // whole-cache invalidation (local scheme)
+			c.InvalidateAll()
+			for _, m := range model {
+				m.valid = 0
+				m.stale = false
+			}
+		case op < 6: // line invalidation (global scheme)
+			mask := rng.Uint32()
+			c.InvalidateLines(p, mask)
+			if m := model[p]; m != nil {
+				m.valid &^= mask
+			}
+		case op < 7: // mark stale (bilateral migration receive)
+			c.MarkAllStale()
+			for _, m := range model {
+				if m.valid != 0 {
+					m.stale = true
+				}
+			}
+		case op < 8: // refresh (bilateral stamp check)
+			if e, _ := c.Hit(g); e != nil {
+				changed := rng.Uint32()
+				c.Refresh(e, changed, uint32(step))
+				m := model[p]
+				m.valid &^= changed
+				m.stale = false
+			}
+		default: // pure fast-path lookups
+			e, ok := c.Hit(g)
+			m := model[p]
+			wantOK := m != nil && !m.stale && m.valid&(1<<uint(line)) != 0
+			if ok != wantOK {
+				t.Fatalf("step %d: Hit ok = %v; model wants %v", step, ok, wantOK)
+			}
+			if (e != nil) != (m != nil) {
+				t.Fatalf("step %d: Hit presence %v; model presence %v", step, e != nil, m != nil)
+			}
+		}
+		// After every op: Hit is read-only and the table matches the model.
+		before := c.keys()
+		entries := c.Entries()
+		for i := 0; i < 4; i++ {
+			c.Hit(randAddr())
+		}
+		if c.Entries() != entries {
+			t.Fatalf("step %d: Hit changed entry count", step)
+		}
+		if after := c.keys(); !sameKeys(before, after) {
+			t.Fatalf("step %d: Hit disturbed insertion order\n before: %v\n after:  %v", step, before, after)
+		}
+		if want := expectKeys(); !sameKeys(before, want) {
+			t.Fatalf("step %d: table order diverged from model\n got:  %v\n want: %v", step, before, want)
+		}
+	}
+}

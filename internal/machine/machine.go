@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -34,51 +35,44 @@ import (
 // Proc is one simulated processor: a serial virtual-time resource plus its
 // section of the distributed heap. (Its software cache and coherence state
 // are attached by the runtime layer.)
+//
+// The clock and busy accounts are single-writer atomics rather than
+// mutex-guarded fields: only the virtual-time-active thread ever calls
+// Occupy or Reset (the scheduler's handoffs order those calls across
+// goroutines), while Clock and Busy may be read at any real-time moment by
+// the metrics scraper, so the loads must be atomic but never contend.
 type Proc struct {
 	ID   int
 	Heap *mem.Heap
 
-	mu    sync.Mutex
-	clock int64
-	busy  int64
+	clock atomic.Int64
+	busy  atomic.Int64
 }
 
 // Occupy charges cycles of work on the processor starting no earlier than
 // now, and returns the completion time (the thread's new clock).
 func (p *Proc) Occupy(now, cycles int64) int64 {
-	p.mu.Lock()
-	start := p.clock
+	start := p.clock.Load()
 	if now > start {
 		start = now
 	}
-	p.clock = start + cycles
-	p.busy += cycles
-	end := p.clock
-	p.mu.Unlock()
+	end := start + cycles
+	p.clock.Store(end)
+	p.busy.Store(p.busy.Load() + cycles)
 	return end
 }
 
 // Clock returns the processor's current virtual time.
-func (p *Proc) Clock() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.clock
-}
+func (p *Proc) Clock() int64 { return p.clock.Load() }
 
 // Busy returns the total cycles of work charged to the processor.
-func (p *Proc) Busy() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.busy
-}
+func (p *Proc) Busy() int64 { return p.busy.Load() }
 
 // Reset clears the processor's virtual time and busy accounting (used
 // between the build and kernel phases of a benchmark).
 func (p *Proc) Reset() {
-	p.mu.Lock()
-	p.clock = 0
-	p.busy = 0
-	p.mu.Unlock()
+	p.clock.Store(0)
+	p.busy.Store(0)
 }
 
 // Config describes a simulated machine.

@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"container/heap"
+	"iter"
+
+	"repro/internal/trace"
+)
+
+// LoopScheduler is the virtual-time event loop. It keeps the same protocol
+// and the same (clock, seq) execution order as ChanScheduler — the digest
+// battery pins byte-identical traces — but changes what a "thread" is:
+// every logical thread runs as a coroutine (iter.Pull) under one dispatcher
+// goroutine, so a virtual-time handoff is two stack switches that never
+// enter the Go runtime scheduler. The channel scheduler pays a mutex, a
+// heap fix, a channel send and two goroutine reschedules (park + wake, each
+// with its casgstatus/timer-check overhead) per handoff; the event loop
+// pays a heap push, a heap pop and two coroswitches.
+//
+// Because the dispatcher and every coroutine execute on one strictly
+// serialized control flow, the scheduler needs no mutex and no atomics:
+// exactly one of {dispatcher, some thread body} runs at any instant, and
+// coroutine switches order all accesses. (Externally scraped values —
+// processor clocks, cache page counts — remain atomic in their own
+// packages, since metrics scrapes arrive on foreign goroutines.)
+//
+// Execution order is decided exactly as in ChanScheduler: the running
+// entry is held OFF the heap; at each Sync it continues if and only if its
+// (clock, seq) key is strictly less than the heap minimum's — the same
+// predicate as "still the heap minimum" when it was kept in-heap — and
+// otherwise re-enqueues itself and yields to the dispatcher, which pops
+// and resumes the minimal runnable entry.
+type LoopScheduler struct {
+	trace *trace.Recorder
+
+	h       entryHeap
+	active  *SchedEntry
+	seq     uint64
+	waiting int  // entries parked off-heap (blocked on futures)
+	driving bool // a Main dispatcher loop is running
+}
+
+// NewLoopScheduler returns an empty event-loop scheduler.
+func NewLoopScheduler() *LoopScheduler { return &LoopScheduler{} }
+
+// SetTracer attaches the lifecycle-event recorder.
+func (s *LoopScheduler) SetTracer(tr *trace.Recorder) { s.trace = tr }
+
+// Register creates and enrolls a new entry with the given clock. The entry
+// joins the runnable heap immediately; its body starts when a dispatcher
+// first picks it (Go must attach the body before the registering thread
+// next yields).
+func (s *LoopScheduler) Register(clock int64) *SchedEntry {
+	e := &SchedEntry{clock: clock, seq: s.seq, index: -1}
+	s.seq++
+	heap.Push(&s.h, e)
+	if s.trace != nil {
+		s.trace.Emit(trace.Event{
+			Kind: trace.EvThreadStart, T: clock,
+			Tid: int32(e.seq), P: -1, Site: -1, Line: -1,
+		})
+	}
+	return e
+}
+
+// Go wraps body in a coroutine bound to e. The coroutine is primed to its
+// first yield point, so no body code runs until the dispatcher resumes it.
+func (s *LoopScheduler) Go(e *SchedEntry, body func()) {
+	e.next, e.stop = iter.Pull(func(yield func(struct{}) bool) {
+		e.yield = yield
+		yield(struct{}{}) // wait for the dispatcher's first pick
+		body()
+	})
+	e.next()
+}
+
+// Main runs body as e's thread and drives the dispatcher loop: pop the
+// minimal runnable entry, resume its coroutine until it yields (in Sync or
+// Park) or its body returns, repeat. It returns only when every registered
+// thread has exited. An empty heap with parked entries remaining means
+// every thread is blocked on a future that can never complete — a deadlock
+// in the simulated program.
+func (s *LoopScheduler) Main(e *SchedEntry, body func()) {
+	if s.driving {
+		panic("machine: nested Main on one scheduler")
+	}
+	s.Go(e, body)
+	s.driving = true
+	defer func() { s.driving = false }()
+	for {
+		m := s.h.min()
+		if m == nil {
+			if s.waiting > 0 {
+				panic("machine: simulation deadlock — every thread is blocked on a touch")
+			}
+			return
+		}
+		heap.Remove(&s.h, m.index)
+		if m.next == nil {
+			panic("machine: entry scheduled before Go attached its thread body")
+		}
+		s.active = m
+		m.next()
+		s.active = nil
+	}
+}
+
+// Sync updates e's clock and yields unless e is still the minimal runnable
+// entry. The fast path — the running thread advances but stays ahead of
+// every waiter — is three comparisons with no locking, no heap traffic and
+// no switch.
+func (s *LoopScheduler) Sync(e *SchedEntry, clock int64) {
+	e.clock = clock
+	if m := s.h.min(); m != nil && !e.less(m) {
+		heap.Push(&s.h, e)
+		e.yield(struct{}{})
+	}
+}
+
+// Park removes e from the runnable set (the thread is about to block on a
+// future) and yields; the coroutine resumes after a Resume re-enrolls the
+// entry and the dispatcher picks it again.
+func (s *LoopScheduler) Park(e *SchedEntry) {
+	if e.index >= 0 {
+		heap.Remove(&s.h, e.index)
+	}
+	s.waiting++
+	e.parked = true
+	e.yield(struct{}{})
+}
+
+// Resume re-enrolls a parked entry at the given clock. The resuming thread
+// keeps running until its own next Sync — wake-ups happen at deterministic
+// protocol points, exactly as in the channel scheduler.
+func (s *LoopScheduler) Resume(e *SchedEntry, clock int64) {
+	e.clock = clock
+	e.parked = false
+	s.waiting--
+	heap.Push(&s.h, e)
+}
+
+// Exit removes e permanently. The thread's body returns right after, which
+// ends its coroutine and hands control back to the dispatcher.
+func (s *LoopScheduler) Exit(e *SchedEntry) {
+	if s.trace != nil {
+		s.trace.Emit(trace.Event{
+			Kind: trace.EvThreadEnd, T: e.clock,
+			Tid: int32(e.seq), P: -1, Site: -1, Line: -1,
+		})
+	}
+	if e.index >= 0 {
+		heap.Remove(&s.h, e.index)
+	}
+}

@@ -5,109 +5,276 @@ import (
 	"testing"
 )
 
-func TestSchedulerOrdersByClock(t *testing.T) {
-	s := NewScheduler()
-	var mu sync.Mutex
-	var order []int
+// forEachScheduler runs a conformance test against both scheduler
+// implementations: the virtual-time event loop and the channel-handoff
+// fallback. Every semantic the runtime relies on must hold for both — the
+// digest battery in internal/bench then pins that whole *runs* are
+// byte-identical.
+func forEachScheduler(t *testing.T, f func(t *testing.T, s Scheduler)) {
+	for _, kind := range []SchedKind{SchedEventLoop, SchedChannel} {
+		t.Run(kind.String(), func(t *testing.T) {
+			f(t, NewSchedulerOf(kind))
+		})
+	}
+}
 
-	run := func(id int, clocks []int64) *sync.WaitGroup {
-		var wg sync.WaitGroup
+// driveThreads registers one entry per body (at the given start clocks, in
+// slice order, so slice index = seq), runs body 0 as the root via Main and
+// the rest via Go, and returns once every thread has finished. Bodies
+// receive the full entry slice so they can Resume each other.
+func driveThreads(s Scheduler, clocks []int64, bodies []func(entries []*SchedEntry)) {
+	entries := make([]*SchedEntry, len(bodies))
+	for i, c := range clocks {
+		entries[i] = s.Register(c)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(bodies); i++ {
+		i := i
 		wg.Add(1)
-		e := s.Register(clocks[0])
-		go func() {
+		s.Go(entries[i], func() {
 			defer wg.Done()
-			for _, c := range clocks {
-				s.Sync(e, c)
-				mu.Lock()
-				order = append(order, id)
-				mu.Unlock()
-			}
-			s.Exit(e)
-		}()
-		return &wg
+			bodies[i](entries)
+		})
 	}
+	s.Main(entries[0], func() { bodies[0](entries) })
+	wg.Wait()
+}
 
-	// Thread 1 has clocks 0,10,20; thread 2 has 5,15,25: the interleaving
-	// must be strictly by clock: 1,2,1,2,1,2.
-	w1 := run(1, []int64{0, 10, 20})
-	w2 := run(2, []int64{5, 15, 25})
-	w1.Wait()
-	w2.Wait()
-	want := []int{1, 2, 1, 2, 1, 2}
-	if len(order) != len(want) {
-		t.Fatalf("order = %v", order)
-	}
-	for i := range want {
-		if order[i] != want[i] {
-			t.Fatalf("order = %v; want %v", order, want)
+func TestSchedulerOrdersByClock(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		var mu sync.Mutex
+		var order []int
+
+		body := func(id int, clocks []int64) func(entries []*SchedEntry) {
+			return func(entries []*SchedEntry) {
+				e := entries[id-1]
+				for _, c := range clocks {
+					s.Sync(e, c)
+					mu.Lock()
+					order = append(order, id)
+					mu.Unlock()
+				}
+				s.Exit(e)
+			}
 		}
-	}
+
+		// Thread 1 has clocks 0,10,20; thread 2 has 5,15,25: the
+		// interleaving must be strictly by clock: 1,2,1,2,1,2.
+		driveThreads(s, []int64{0, 5}, []func([]*SchedEntry){
+			body(1, []int64{0, 10, 20}),
+			body(2, []int64{5, 15, 25}),
+		})
+		want := []int{1, 2, 1, 2, 1, 2}
+		if len(order) != len(want) {
+			t.Fatalf("order = %v", order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v; want %v", order, want)
+			}
+		}
+	})
 }
 
 func TestSchedulerTieBreakBySeq(t *testing.T) {
-	s := NewScheduler()
-	var mu sync.Mutex
-	var order []int
-	var wg sync.WaitGroup
-	entries := make([]*SchedEntry, 3)
-	for i := range entries {
-		entries[i] = s.Register(100) // all tie at clock 100
-	}
-	for i := range entries {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.Sync(entries[i], 100)
-			mu.Lock()
-			order = append(order, i)
-			mu.Unlock()
-			s.Exit(entries[i])
-		}()
-	}
-	wg.Wait()
-	for i, id := range order {
-		if id != i {
-			t.Fatalf("tie-break order = %v; want registration order", order)
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		var mu sync.Mutex
+		var order []int
+		body := func(i int) func(entries []*SchedEntry) {
+			return func(entries []*SchedEntry) {
+				s.Sync(entries[i], 100)
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				s.Exit(entries[i])
+			}
 		}
-	}
+		// All three tie at clock 100; execution must follow seq order.
+		driveThreads(s, []int64{100, 100, 100},
+			[]func([]*SchedEntry){body(0), body(1), body(2)})
+		for i, id := range order {
+			if id != i {
+				t.Fatalf("tie-break order = %v; want registration order", order)
+			}
+		}
+	})
+}
+
+// TestSchedulerSameClockFIFOAcrossYields pins the stronger tie-break
+// property: entries that keep syncing at the same clock rotate in seq
+// (FIFO) order at every yield, not just on first arrival.
+func TestSchedulerSameClockFIFOAcrossYields(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		const threads, rounds = 3, 4
+		var mu sync.Mutex
+		var order []int
+		body := func(i int) func(entries []*SchedEntry) {
+			return func(entries []*SchedEntry) {
+				for r := 0; r < rounds; r++ {
+					// All threads tie at each round's clock; seq must
+					// decide every round identically.
+					s.Sync(entries[i], int64(r*10))
+					mu.Lock()
+					order = append(order, i)
+					mu.Unlock()
+				}
+				s.Exit(entries[i])
+			}
+		}
+		driveThreads(s, []int64{0, 0, 0},
+			[]func([]*SchedEntry){body(0), body(1), body(2)})
+		var want []int
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < threads; i++ {
+				want = append(want, i)
+			}
+		}
+		if len(order) != len(want) {
+			t.Fatalf("order = %v", order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("order = %v; want %v", order, want)
+			}
+		}
+	})
 }
 
 func TestSchedulerParkResume(t *testing.T) {
-	s := NewScheduler()
-	waiter := s.Register(0)
-	worker := s.Register(1)
-	var got int64
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		s.Sync(waiter, 0)
-		s.Park(waiter) // resumed at clock 500 by the worker
-		got = 500
-		s.Exit(waiter)
-	}()
-	go func() {
-		defer wg.Done()
-		s.Sync(worker, 1)
-		s.Sync(worker, 400)
-		s.Resume(waiter, 500)
-		s.Exit(worker)
-	}()
-	wg.Wait()
-	if got != 500 {
-		t.Fatal("parked thread did not resume")
-	}
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		var got int64
+		driveThreads(s, []int64{0, 1}, []func([]*SchedEntry){
+			func(entries []*SchedEntry) {
+				s.Sync(entries[0], 0)
+				s.Park(entries[0]) // resumed at clock 500 by the worker
+				got = 500
+				s.Exit(entries[0])
+			},
+			func(entries []*SchedEntry) {
+				s.Sync(entries[1], 1)
+				s.Sync(entries[1], 400)
+				s.Resume(entries[0], 500)
+				s.Exit(entries[1])
+			},
+		})
+		if got != 500 {
+			t.Fatal("parked thread did not resume")
+		}
+	})
+}
+
+// TestSchedulerParkEmptyHeapWakeup exercises the wake path where the
+// resumed entry is the ONLY runnable thread left: the resumer exits with
+// an otherwise-empty heap, so the handoff must find and wake the parked
+// waiter rather than declaring the machine idle (or deadlocked).
+func TestSchedulerParkEmptyHeapWakeup(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		var got int64
+		driveThreads(s, []int64{0, 1}, []func([]*SchedEntry){
+			func(entries []*SchedEntry) {
+				s.Sync(entries[0], 0)
+				s.Park(entries[0])
+				got = 700
+				s.Exit(entries[0])
+			},
+			func(entries []*SchedEntry) {
+				s.Sync(entries[1], 1)
+				s.Resume(entries[0], 700)
+				s.Exit(entries[1]) // heap: only the re-enrolled waiter
+			},
+		})
+		if got != 700 {
+			t.Fatal("waiter not woken after resume + exit")
+		}
+	})
 }
 
 func TestSchedulerDeadlockPanics(t *testing.T) {
-	s := NewScheduler()
-	e := s.Register(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected deadlock panic")
+	forEachScheduler(t, func(t *testing.T, s Scheduler) {
+		e := s.Register(0)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected deadlock panic")
+			}
+		}()
+		// The panic surfaces on this goroutine either way: the channel
+		// scheduler raises it inside Park itself, the event loop inside
+		// Main's dispatcher once the only thread has parked.
+		s.Main(e, func() {
+			s.Sync(e, 0)
+			s.Park(e) // nobody will ever resume us
+		})
+	})
+}
+
+func TestParseSchedKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedKind
+		ok   bool
+	}{
+		{"", SchedDefault, true},
+		{"default", SchedDefault, true},
+		{"eventloop", SchedEventLoop, true},
+		{"channel", SchedChannel, true},
+		{"turnip", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSchedKind(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseSchedKind(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	for _, k := range []SchedKind{SchedDefault, SchedEventLoop, SchedChannel} {
+		back, err := ParseSchedKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip %v -> %q -> %v, %v", k, k.String(), back, err)
+		}
+	}
+}
+
+func TestNewSchedulerOfKinds(t *testing.T) {
+	if _, ok := NewSchedulerOf(SchedEventLoop).(*LoopScheduler); !ok {
+		t.Error("SchedEventLoop did not build a LoopScheduler")
+	}
+	if _, ok := NewSchedulerOf(SchedChannel).(*ChanScheduler); !ok {
+		t.Error("SchedChannel did not build a ChanScheduler")
+	}
+}
+
+// TestStatsSnapshotNoTearing pins the documented Stats guarantee: a
+// mid-run Snapshot never interleaves with a Reset (or any mu-holding
+// writer) and observes half-cleared counters. The writer alternates the
+// whole counter set between N and zero — arming under the same mutex
+// Snapshot takes — so the only legal observations are all-N or all-zero;
+// a snapshot landing inside either transition would see a mix.
+func TestStatsSnapshotNoTearing(t *testing.T) {
+	const n = 1 << 20
+	var s Stats
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			s.mu.Lock()
+			s.PtrTests.Store(n)
+			s.Migrations.Store(n)
+			s.FullFlushes.Store(n)
+			s.mu.Unlock()
+			s.Reset()
 		}
 	}()
-	s.Sync(e, 0)
-	s.Park(e) // nobody will ever resume us
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		snap := s.Snapshot()
+		armed := snap.PtrTests == n && snap.Migrations == n && snap.FullFlushes == n
+		cleared := snap.PtrTests == 0 && snap.Migrations == 0 && snap.FullFlushes == 0
+		if !armed && !cleared {
+			t.Fatalf("torn snapshot: PtrTests=%d Migrations=%d FullFlushes=%d",
+				snap.PtrTests, snap.Migrations, snap.FullFlushes)
+		}
+	}
 }

@@ -12,11 +12,28 @@ import (
 // reference counts as one miss if it pays any protocol round trip —
 // a line fetch and/or a timestamp check (this is the quantity behind
 // Table 3's "% of Remote references that miss").
-func (t *Thread) cacheAccess(s *Site, a gaddr.GP) *cacheRef {
+//
+// The resident-line hit — by far the dominant outcome — takes the
+// allocation-free fast path: one hash-chain walk (cache.Hit), the hit
+// counter, and the trace emit. Everything else falls back to the full
+// probe, which re-derives the same state and handles page allocation,
+// staleness and the fetch.
+func (t *Thread) cacheAccess(s *Site, a gaddr.GP) cacheRef {
 	c := t.rt.Caches[t.loc]
 	tr := t.rt.M.Tracer
 	start := t.now
 	t.chargeHere(t.rt.M.Cost.CacheHit)
+	if e, ok := c.Hit(a); ok {
+		t.rt.mCacheHits.Inc()
+		if tr != nil {
+			tr.Emit(trace.Event{
+				Kind: trace.EvCacheHit, T: start,
+				P: int16(t.loc), Tid: t.tid(), Site: s.traceID,
+				Page: uint32(gaddr.PageOf(a)), Line: int16(gaddr.LineOf(a)),
+			})
+		}
+		return cacheRef{e: e, pageOff: a.Off() % gaddr.PageBytes}
+	}
 	e, pageNew, lineValid := c.Probe(a)
 	if pageNew {
 		t.rt.M.Stats.PagesCached.Add(1)
@@ -59,7 +76,7 @@ func (t *Thread) cacheAccess(s *Site, a gaddr.GP) *cacheRef {
 		}
 		tr.Emit(ev)
 	}
-	return &cacheRef{e: e, pageOff: a.Off() % gaddr.PageBytes}
+	return cacheRef{e: e, pageOff: a.Off() % gaddr.PageBytes}
 }
 
 // fetchLine transfers the 64-byte line containing a from its home into the
@@ -71,11 +88,11 @@ func (t *Thread) fetchLine(c *cache.Cache, e *cache.Entry, a gaddr.GP) {
 	start := t.now
 	t.now += cost.MissRequest
 	t.now = home.Occupy(t.now, cost.MissService)
-	buf := make([]uint64, gaddr.WordsPerLine)
+	var buf [gaddr.WordsPerLine]uint64
 	lineOff := a.Off() &^ uint32(gaddr.LineBytes-1)
-	home.Heap.CopyLineOut(lineOff, buf)
+	home.Heap.CopyLineOut(lineOff, buf[:])
 	t.now += cost.MissReply
-	c.InstallLine(e, line, buf)
+	c.InstallLine(e, line, buf[:])
 	t.rt.Coh.RegisterSharer(e.Page, t.loc)
 	t.rt.M.Stats.LineFetches.Add(1)
 	t.rt.mLineFills.Inc()

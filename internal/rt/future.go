@@ -51,7 +51,7 @@ func Spawn[T any](t *Thread, body func(child *Thread) T) *Future[T] {
 	}
 	f := &Future[T]{}
 	t.rt.live.Add(1)
-	go func() {
+	t.rt.Sched.Go(child.se, func() {
 		defer t.rt.live.Done()
 		// Call returns the child to its spawn processor via the
 		// return stub if the body migrated.
@@ -68,7 +68,7 @@ func Spawn[T any](t *Thread, body func(child *Thread) T) *Future[T] {
 			t.rt.Sched.Resume(w, child.now)
 		}
 		t.rt.Sched.Exit(child.se)
-	}()
+	})
 	return f
 }
 

@@ -144,6 +144,11 @@ type Config struct {
 	// the given recorder. Nil — the default — disables recording; the
 	// cost model and all statistics are unaffected either way.
 	Trace *trace.Recorder
+	// Sched selects the scheduler implementation (default: the
+	// virtual-time event loop; machine.SchedChannel keeps the original
+	// channel-handoff scheduler for differential testing, as does the
+	// OLDEN_SCHED=channel environment flag).
+	Sched machine.SchedKind
 	// Metrics, when non-nil, is a registry the runtime binds the
 	// machine's statistics into and registers its own counters and
 	// latency histograms with (cache hits, miss and migration transit
@@ -163,7 +168,7 @@ type Runtime struct {
 	Mode   Mode
 	// Sched serializes all threads in virtual-time order, making every
 	// run deterministic.
-	Sched *machine.Scheduler
+	Sched machine.Scheduler
 	// Overhead is false for the sequential baseline.
 	Overhead bool
 
@@ -238,8 +243,8 @@ func New(cfg Config) *Runtime {
 	for i := range dirty {
 		dirty[i] = coherence.DirtySet{}
 	}
-	sched := machine.NewScheduler()
-	sched.Trace = cfg.Trace
+	sched := machine.NewSchedulerOf(cfg.Sched)
+	sched.SetTracer(cfg.Trace)
 	return &Runtime{
 		M:        m,
 		Caches:   caches,
@@ -323,9 +328,16 @@ func (r *Runtime) Run(start int, f func(t *Thread)) int64 {
 		frames: []uint64{0},
 	}
 	t.se = r.Sched.Register(0)
-	f(t)
-	t.Finish()
-	r.Sched.Exit(t.se)
+	// Main runs the root body under the scheduler. Under the event loop
+	// the calling goroutine becomes the dispatcher and Main returns only
+	// when every thread (futures included) has exited; under the channel
+	// scheduler futures run on their own goroutines and live.Wait picks
+	// up the stragglers.
+	r.Sched.Main(t.se, func() {
+		f(t)
+		t.Finish()
+		r.Sched.Exit(t.se)
+	})
 	r.live.Wait()
 	return r.M.Makespan()
 }

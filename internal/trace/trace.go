@@ -139,13 +139,18 @@ type Recorder struct {
 }
 
 // New returns a recorder bounded at capacity events (DefaultCapacity when
-// capacity <= 0). The buffer grows on demand up to the bound, then wraps,
-// dropping the oldest events.
+// capacity <= 0). An explicitly sized recorder preallocates its ring, so
+// recording never grows the buffer mid-run; the default-capacity ring
+// (≈12 MB) still grows on demand up to the bound, then wraps, dropping
+// the oldest events.
 func New(capacity int) *Recorder {
+	r := &Recorder{cap: capacity, siteIDs: map[string]int32{}}
 	if capacity <= 0 {
-		capacity = DefaultCapacity
+		r.cap = DefaultCapacity
+	} else {
+		r.buf = make([]Event, 0, capacity)
 	}
-	return &Recorder{cap: capacity, siteIDs: map[string]int32{}}
+	return r
 }
 
 // Emit appends one event. When the ring is full the oldest event is

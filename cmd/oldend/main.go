@@ -7,12 +7,20 @@
 //
 // Endpoints:
 //
-//	POST /run         {"benchmark":"treeadd","procs":4,"scheme":"local"}
-//	POST /batch       {"runs":[...]} — a config set, deduped against both caches
-//	GET  /benchmarks  machine-readable catalog (same bytes as oldenbench -list)
-//	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     liveness
-//	GET  /readyz      readiness (fails during drain)
+//	POST /run             {"benchmark":"treeadd","procs":4,"scheme":"local"}
+//	POST /batch           {"runs":[...]} — a config set, deduped against both caches
+//	GET  /benchmarks      machine-readable catalog (same bytes as oldenbench -list)
+//	GET  /metrics         Prometheus text exposition
+//	GET  /debug/requests  recent + in-flight requests, slowest first
+//	GET  /debug/trace/ID  one sampled request's merged Chrome trace (?format=tree for JSON)
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (fails during drain)
+//
+// Every response carries X-Oldend-Trace-Id; requests arriving with a
+// W3C traceparent keep their upstream trace id, and a sampled flag (or
+// -trace-sample N head sampling) retains the full span tree — admission,
+// queue wait, cache probes, per-phase execution — merged with the run's
+// simulated cache events in one Chrome trace file.
 //
 // A full queue sheds load with 429 + Retry-After; SIGINT/SIGTERM begins
 // graceful drain: readiness fails, in-flight and queued runs complete,
@@ -58,6 +66,10 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight runs")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	traceSample := flag.Int("trace-sample", 0, "head-sample every Nth request for span tracing (1 = all, 0 = only requests with a sampled traceparent, negative disables)")
+	traceRequests := flag.Int("trace-requests", 256, "finished-request ring size behind /debug/requests")
+	traceCapacity := flag.Int("trace-capacity", 0, "per-sampled-request simulation event ring (0 = simulator default; overflow is counted, never silent)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -67,6 +79,10 @@ func main() {
 		PhaseCacheEntries: *phaseEntries,
 		DefaultDeadline:   *deadline,
 		MaxDeadline:       *maxDeadline,
+		SampleEvery:       *traceSample,
+		DebugRequests:     *traceRequests,
+		TraceCapacity:     *traceCapacity,
+		EnablePprof:       *pprofOn,
 	}
 	if !*quiet {
 		cfg.AccessLog = server.NewAccessLogger(os.Stderr)

@@ -25,6 +25,14 @@
 //
 //	oldenload -mix "em3d:2:64" -schemes local,global,bilateral -no-cache
 //
+// With -trace-every N, every Nth request carries a sampled W3C
+// traceparent; after the run the K slowest sampled requests (-slowest)
+// are fetched back from GET /debug/trace/<id> and reduced to their
+// dominant span — "queue_wait dominates at depth 1" distinguishes an
+// overloaded queue from a slow kernel without opening a trace viewer:
+//
+//	oldenload -rps 200 -duration 10s -trace-every 10 -slowest 5
+//
 // Exit status: 0 when every SLO holds and no request got a 5xx; 1 on any
 // breach; 2 on usage errors. 429 shedding is the admission-control
 // contract working, not an error — it is reported separately and only
@@ -33,11 +41,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 
 	_ "repro/internal/bench/barneshut"
 	_ "repro/internal/bench/bisort"
@@ -67,6 +78,20 @@ type sample struct {
 	cache   string
 	phase   string
 	latency time.Duration
+	// traceID is set when the request carried a sampled traceparent, so
+	// the server retained its span tree for post-run inspection.
+	traceID string
+}
+
+// SlowTrace is one slow sampled request's span breakdown, fetched from
+// the server's /debug/trace endpoint after the run.
+type SlowTrace struct {
+	TraceID       string  `json:"trace_id"`
+	LatencyMS     float64 `json:"latency_ms"`
+	Dominant      string  `json:"dominant"`
+	DominantDepth int     `json:"dominant_depth"`
+	DominantUS    int64   `json:"dominant_us"`
+	ServerDurUS   int64   `json:"server_dur_us"`
 }
 
 // Report is the machine-readable load-test result (-out writes it).
@@ -87,6 +112,7 @@ type Report struct {
 	PhaseMisses int64            `json:"phase_cache_misses"`
 	Throughput  float64          `json:"throughput_rps"` // successful responses per second
 	Latency     LatencyMS        `json:"latency_ms"`     // over successful responses
+	SlowTraces  []SlowTrace      `json:"slow_traces,omitempty"`
 	Breaches    []string         `json:"slo_breaches,omitempty"`
 }
 
@@ -119,6 +145,8 @@ func main() {
 	maxShedRate := flag.Float64("max-shed-rate", 1, "max tolerated 429 fraction (1 = shedding never fails the gate)")
 	minRequests := flag.Int64("min-requests", 1, "fail if fewer requests completed (guards against a dead server passing)")
 	out := flag.String("out", "", "write the JSON report to this file")
+	traceEvery := flag.Int("trace-every", 0, "send a sampled W3C traceparent on every Nth request so the server retains its span tree (0 = never)")
+	slowest := flag.Int("slowest", 3, "after the run, fetch and print span breakdowns for the K slowest sampled requests")
 	flag.Parse()
 
 	schemeList := []string{*scheme}
@@ -144,9 +172,20 @@ func main() {
 		mu.Unlock()
 	}
 	fire := func() {
-		body := mix[int(next.Add(1)-1)%len(mix)]
+		n := next.Add(1) - 1
+		body := mix[int(n)%len(mix)]
+		req, err := http.NewRequest(http.MethodPost, *url+"/run", bytes.NewReader(body))
+		if err != nil {
+			recordSample(sample{status: 0})
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		sampled := *traceEvery > 0 && n%int64(*traceEvery) == 0
+		if sampled {
+			req.Header.Set("traceparent", newTraceparent())
+		}
 		start := time.Now()
-		resp, err := client.Post(*url+"/run", "application/json", bytes.NewReader(body))
+		resp, err := client.Do(req)
 		lat := time.Since(start)
 		if err != nil {
 			recordSample(sample{status: 0, latency: lat})
@@ -154,12 +193,18 @@ func main() {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		recordSample(sample{
+		s := sample{
 			status:  resp.StatusCode,
 			cache:   resp.Header.Get("X-Oldend-Cache"),
 			phase:   resp.Header.Get("X-Oldend-Phase-Cache"),
 			latency: lat,
-		})
+		}
+		if sampled {
+			// The server echoes the propagated id; trust its header so the
+			// id we later query is the one it retained.
+			s.traceID = resp.Header.Get("X-Oldend-Trace-Id")
+		}
+		recordSample(s)
 	}
 
 	loopMode := "closed"
@@ -206,6 +251,7 @@ func main() {
 	wg.Wait()
 
 	rep := summarize(samples, loopMode, *url, *duration, mixNames(mix), drops.Load())
+	rep.SlowTraces = slowTraces(client, *url, samples, *slowest)
 	gate(&rep, *sloP50, *sloP95, *sloP99, *sloErrRate, *maxShedRate, *minRequests)
 
 	fmt.Print(formatReport(rep))
@@ -223,6 +269,87 @@ func main() {
 		fmt.Fprintf(os.Stderr, "oldenload: SLO BREACH: %s\n", strings.Join(rep.Breaches, "; "))
 		os.Exit(1)
 	}
+}
+
+// newTraceparent mints a sampled W3C traceparent so the server adopts
+// our trace id and retains the request's span tree.
+func newTraceparent() string {
+	var ctx obs.Context
+	binary.BigEndian.PutUint64(ctx.TraceID[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(ctx.TraceID[8:], rand.Uint64())
+	binary.BigEndian.PutUint64(ctx.SpanID[:], rand.Uint64())
+	ctx.Sampled = true
+	return ctx.Traceparent()
+}
+
+// slowTraces asks the server where the time went in its K slowest
+// sampled requests. The /debug/requests ring is already sorted
+// slowest-first with each sampled request's dominant span precomputed;
+// when the full span tree is still retained (the trace ring is smaller
+// than the request ring) it is fetched from /debug/trace for the exact
+// self-time numbers. The traceIDs set — requests this load run itself
+// sampled — restricts the view to our own traffic. Best-effort
+// diagnosis, never part of the gate.
+func slowTraces(client *http.Client, baseURL string, samples []sample, k int) []SlowTrace {
+	if k <= 0 {
+		return nil
+	}
+	ours := map[string]bool{}
+	for _, s := range samples {
+		if s.traceID != "" {
+			ours[s.traceID] = true
+		}
+	}
+	if len(ours) == 0 {
+		return nil
+	}
+	resp, err := client.Get(baseURL + "/debug/requests")
+	if err != nil {
+		return nil
+	}
+	var dbg struct {
+		Requests []struct {
+			TraceID       string `json:"trace_id"`
+			DurUS         int64  `json:"dur_us"`
+			Sampled       bool   `json:"sampled"`
+			Dominant      string `json:"dominant"`
+			DominantDepth int    `json:"dominant_depth"`
+		} `json:"requests"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dbg)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out []SlowTrace
+	for _, r := range dbg.Requests {
+		if len(out) == k {
+			break
+		}
+		if !r.Sampled || r.Dominant == "" || !ours[r.TraceID] {
+			continue
+		}
+		st := SlowTrace{
+			TraceID:       r.TraceID,
+			Dominant:      r.Dominant,
+			DominantDepth: r.DominantDepth,
+			ServerDurUS:   r.DurUS,
+			LatencyMS:     float64(r.DurUS) / 1000,
+		}
+		if tr, err := client.Get(baseURL + "/debug/trace/" + r.TraceID + "?format=tree"); err == nil {
+			var tree struct {
+				DominantUS int64 `json:"dominant_us"`
+			}
+			if tr.StatusCode == http.StatusOK && json.NewDecoder(tr.Body).Decode(&tree) == nil {
+				st.DominantUS = tree.DominantUS
+			}
+			io.Copy(io.Discard, tr.Body)
+			tr.Body.Close()
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // parseMix compiles the mix spec into ready-to-send request bodies — one
@@ -452,6 +579,13 @@ func formatReport(r Report) string {
 	fmt.Fprintf(&sb, "throughput: %.1f ok/s\n", r.Throughput)
 	fmt.Fprintf(&sb, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean, r.Latency.Max)
+	if len(r.SlowTraces) > 0 {
+		sb.WriteString("slowest sampled requests:\n")
+		for i, st := range r.SlowTraces {
+			fmt.Fprintf(&sb, "  %d. %s %.2fms — %s dominates at depth %d (%dµs self of %dµs server time)\n",
+				i+1, st.TraceID, st.LatencyMS, st.Dominant, st.DominantDepth, st.DominantUS, st.ServerDurUS)
+		}
+	}
 	if len(r.Breaches) == 0 {
 		sb.WriteString("SLO: ok\n")
 	} else {

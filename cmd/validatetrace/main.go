@@ -1,0 +1,75 @@
+// Command validatetrace strictly validates a Chrome trace_event JSON
+// file (as served by oldend's GET /debug/trace/<id> or written by
+// oldenbench/oldensim -chrome) and prints its shape: event counts by
+// phase, category and pid, plus any declared drop count.
+//
+//	validatetrace trace.json
+//	curl -s http://127.0.0.1:8080/debug/trace/$ID | validatetrace -min-service 4 -require-sim -
+//
+// Exit status 0 means the file parses under the strict (unknown fields
+// rejected) validator and satisfies the requested shape; 1 means it does
+// not. CI uses it to keep the merged service+simulator export loadable
+// by real trace viewers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	minService := flag.Int("min-service", 0, "fail unless at least this many events have the service pid (1000)")
+	requireSim := flag.Bool("require-sim", false, "fail unless simulator events (non-service pids) are present")
+	maxDropped := flag.Int64("max-dropped", -1, "fail if the declared drop count exceeds this (-1 = don't check)")
+	flag.Parse()
+
+	var r io.Reader
+	switch name := flag.Arg(0); {
+	case name == "" || name == "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	stats, err := trace.ValidateChrome(r)
+	if err != nil {
+		fatalf("invalid: %v", err)
+	}
+	fmt.Printf("events=%d metadata=%d dropped=%d\n", stats.Events, stats.Metadata, stats.DroppedEvents)
+	for ph, n := range stats.ByPhase {
+		fmt.Printf("  ph=%s: %d\n", ph, n)
+	}
+	for cat, n := range stats.ByCat {
+		fmt.Printf("  cat=%s: %d\n", cat, n)
+	}
+	sim := 0
+	for pid, n := range stats.ByPid {
+		fmt.Printf("  pid=%d: %d\n", pid, n)
+		if pid != 1000 {
+			sim += n
+		}
+	}
+	if got := stats.ByPid[1000]; got < *minService {
+		fatalf("service events (pid 1000) = %d, want >= %d", got, *minService)
+	}
+	if *requireSim && sim == 0 {
+		fatalf("no simulator events (non-service pids) in trace")
+	}
+	if *maxDropped >= 0 && stats.DroppedEvents > *maxDropped {
+		fatalf("declared dropped events %d > %d", stats.DroppedEvents, *maxDropped)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validatetrace: "+format+"\n", args...)
+	os.Exit(1)
+}

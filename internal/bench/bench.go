@@ -49,6 +49,12 @@ type Config struct {
 	// fingerprint final heap contents; profilers use it for per-site
 	// statistics.
 	RuntimeHook func(*rt.Runtime)
+	// OnPhase, when non-nil, brackets each execution phase RunPhased
+	// goes through ("build", "restore_build", "kernel", or "run" for the
+	// unphased fallback): it is called at phase start and the returned
+	// func at phase end. The serving layer hangs per-phase tracing spans
+	// off it; it runs on the host clock and charges no simulated cycles.
+	OnPhase func(name string) func()
 }
 
 // DefaultScale keeps default runs comfortably fast; `-scale 1` in

@@ -32,6 +32,22 @@ func (bs *BuildState) Reusable(name string, cfg Config) bool {
 		bs.Procs == cfg.Procs && bs.Scale == cfg.Scale
 }
 
+// noopPhase is the shared end-of-phase func returned when no OnPhase
+// hook is installed, so the unhooked path allocates no closures.
+func noopPhase() {}
+
+// beginPhase enters a named execution phase, returning the func that
+// ends it.
+func beginPhase(cfg Config, name string) func() {
+	if cfg.OnPhase == nil {
+		return noopPhase
+	}
+	if end := cfg.OnPhase(name); end != nil {
+		return end
+	}
+	return noopPhase
+}
+
 // RunPhased executes one configuration, reusing the given build state
 // when it fits and returning the (possibly new) build state for the next
 // caller. reused reports whether the build phase was skipped. Benchmarks
@@ -44,15 +60,21 @@ func (bs *BuildState) Reusable(name string, cfg Config) bool {
 func RunPhased(info Info, cfg Config, bs *BuildState) (Result, *BuildState, bool, error) {
 	cfg = cfg.normalize()
 	if info.Phased == nil || cfg.Baseline {
-		return info.Run(cfg), nil, false, nil
+		end := beginPhase(cfg, "run")
+		res := info.Run(cfg)
+		end()
+		return res, nil, false, nil
 	}
 	r := cfg.NewRuntime()
 	reused := bs.Reusable(info.Name, cfg)
 	var st any
 	if reused {
+		end := beginPhase(cfg, "restore_build")
 		r.RestoreHeaps(bs.Images)
 		st = bs.State
+		end()
 	} else {
+		end := beginPhase(cfg, "build")
 		st = info.Phased.Build(cfg, r)
 		bs = &BuildState{
 			Benchmark: info.Name,
@@ -61,8 +83,11 @@ func RunPhased(info Info, cfg Config, bs *BuildState) (Result, *BuildState, bool
 			Images:    r.SnapshotHeaps(),
 			State:     st,
 		}
+		end()
 	}
+	endKernel := beginPhase(cfg, "kernel")
 	res := info.Phased.Kernel(cfg, r, st)
+	endKernel()
 	fp, ok := r.BuildHeapFingerprint()
 	if !ok {
 		return res, nil, reused, fmt.Errorf("bench: %s phased kernel crossed no phase boundary", info.Name)

@@ -1,0 +1,53 @@
+package metrics
+
+// Exemplar links one histogram bucket to a concrete instance that landed
+// in it — for latency histograms, a trace id. It answers the question a
+// bucket count cannot: "show me one of the requests that took that long".
+type Exemplar struct {
+	// Le is the bucket's inclusive upper bound, matching Bucket.Le.
+	Le int64 `json:"le"`
+	// Value is the exemplar observation itself.
+	Value int64 `json:"value"`
+	// Ref is the caller-supplied reference (oldend stores the trace id).
+	Ref string `json:"ref"`
+}
+
+// exemplarCell is the immutable payload swapped into a bucket's slot; a
+// fresh cell per store keeps reads tear-free without locks.
+type exemplarCell struct {
+	value int64
+	ref   string
+}
+
+// ObserveExemplar records one observation and, when ref is non-empty,
+// remembers (v, ref) as the bucket's exemplar — last writer wins, which
+// biases toward recency, the useful bias for "show me a recent slow
+// request". An empty ref degrades to a plain Observe, so unsampled
+// requests pay nothing beyond the observation itself. No-op on a nil
+// histogram.
+func (h *Histogram) ObserveExemplar(v int64, ref string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if ref == "" {
+		return
+	}
+	i := bucketIndex(v)
+	h.ex[i].Store(&exemplarCell{value: v, ref: ref})
+}
+
+// Exemplars returns the current exemplar of every bucket that has one,
+// in ascending bucket order.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := 0; i < NumBuckets; i++ {
+		if cell := h.ex[i].Load(); cell != nil {
+			out = append(out, Exemplar{Le: BucketBound(i), Value: cell.value, Ref: cell.ref})
+		}
+	}
+	return out
+}

@@ -125,6 +125,18 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [NumBuckets]atomic.Int64
+	// ex holds one optional exemplar per bucket (see ObserveExemplar);
+	// nil slots cost nothing.
+	ex [NumBuckets]atomic.Pointer[exemplarCell]
+}
+
+// bucketIndex maps an observation to its bucket: bits.Len64, with
+// non-positive values in bucket 0.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
 }
 
 // Observe records one observation. Negative values land in bucket 0 with
@@ -135,11 +147,7 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
-	i := 0
-	if v > 0 {
-		i = bits.Len64(uint64(v))
-	}
-	h.buckets[i].Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
 }
 
 // Count returns the number of observations (zero for a nil histogram).
@@ -175,6 +183,7 @@ func (h *Histogram) reset() {
 	h.sum.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.ex[i].Store(nil)
 	}
 }
 

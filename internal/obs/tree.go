@@ -1,0 +1,89 @@
+package obs
+
+import "time"
+
+// SpanTree is the JSON shape of one span in the tree view served by
+// GET /debug/trace/<id>?format=tree. It exists as a shared type so
+// oldenload can unmarshal the server's response and print breakdowns
+// without re-deriving the schema.
+type SpanTree struct {
+	Name     string `json:"name"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	// StartUS is the span's start as a microsecond offset from the root
+	// span's start; DurUS its wall-clock duration.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+	// SelfUS is the exclusive time: DurUS minus the children's DurUS —
+	// the quantity the dominant-span computation maximizes.
+	SelfUS          int64      `json:"self_us"`
+	SimCycles       int64      `json:"sim_cycles,omitempty"`
+	Attrs           []Attr     `json:"attrs,omitempty"`
+	DroppedChildren int        `json:"dropped_children,omitempty"`
+	DroppedAttrs    int        `json:"dropped_attrs,omitempty"`
+	Children        []SpanTree `json:"children,omitempty"`
+}
+
+// TraceTree is the full tree view of one sampled request: the span tree
+// plus the merged-export bookkeeping (dominant span, simulation event
+// counts and drops).
+type TraceTree struct {
+	TraceID       string    `json:"trace_id"`
+	Start         time.Time `json:"start"`
+	DurUS         int64     `json:"dur_us"`
+	Dominant      string    `json:"dominant"`
+	DominantDepth int       `json:"dominant_depth"`
+	DominantUS    int64     `json:"dominant_us"`
+	SimEvents     int       `json:"sim_events"`
+	SimDropped    int64     `json:"sim_dropped"`
+	Root          SpanTree  `json:"root"`
+}
+
+// Tree renders a sampled request's span tree as its JSON view. Returns
+// the zero value for nil.
+func Tree(root *Span) TraceTree {
+	if root == nil {
+		return TraceTree{}
+	}
+	snap := root.snapshot(root.tracer.now())
+	dom, depth, domUS := snap.dominant()
+	tt := TraceTree{
+		TraceID:       root.TraceID().String(),
+		Start:         snap.start,
+		DurUS:         snap.durUS(),
+		Dominant:      dom,
+		DominantDepth: depth,
+		DominantUS:    domUS,
+		Root:          treeOf(snap, snap.start),
+	}
+	if rec := findSimRec(snap); rec != nil {
+		tt.SimEvents = rec.Len()
+		tt.SimDropped = rec.Dropped()
+	}
+	return tt
+}
+
+func treeOf(sn spanSnap, epoch time.Time) SpanTree {
+	st := SpanTree{
+		Name:            sn.name,
+		SpanID:          sn.spanID.String(),
+		StartUS:         sn.start.Sub(epoch).Microseconds(),
+		DurUS:           sn.durUS(),
+		SelfUS:          sn.durUS(),
+		Attrs:           sn.attrs,
+		DroppedChildren: sn.dropKids,
+		DroppedAttrs:    sn.dropAttrs,
+	}
+	if !sn.parentID.IsZero() {
+		st.ParentID = sn.parentID.String()
+	}
+	if sn.simCycles >= 0 {
+		st.SimCycles = sn.simCycles
+	}
+	for _, c := range sn.children {
+		ct := treeOf(c, epoch)
+		st.SelfUS -= ct.DurUS
+		st.Children = append(st.Children, ct)
+	}
+	return st
+}

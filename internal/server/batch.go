@@ -115,20 +115,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		groups[g] = append(groups[g], i)
 	}
 
+	rc := requestCtx(r)
 	var wg sync.WaitGroup
 	for _, idxs := range groups {
 		wg.Add(1)
 		go func(idxs []int) {
 			defer wg.Done()
 			// Warm: the group head builds (or finds) the shared state.
-			s.runBatchItem(r.Context(), reqs[idxs[0]], &items[idxs[0]])
+			s.runBatchItem(r.Context(), rc, reqs[idxs[0]], &items[idxs[0]])
 			// Fan: everyone else restores it concurrently.
 			var fan sync.WaitGroup
 			for _, i := range idxs[1:] {
 				fan.Add(1)
 				go func(i int) {
 					defer fan.Done()
-					s.runBatchItem(r.Context(), reqs[i], &items[i])
+					s.runBatchItem(r.Context(), rc, reqs[i], &items[i])
 				}(i)
 			}
 			fan.Wait()
@@ -167,7 +168,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // runBatchItem pushes one normalized configuration through the same
 // admission queue and worker pool /run uses and fills the item in place.
-func (s *Server) runBatchItem(parent context.Context, req RunRequest, item *BatchItem) {
+// On sampled batch requests each item hangs a "run:<benchmark>" span off
+// the request root, so one batch trace shows every item's queue wait and
+// execution side by side.
+func (s *Server) runBatchItem(parent context.Context, rc *reqCtx, req RunRequest, item *BatchItem) {
 	cacheState := "miss"
 	if req.NoCache {
 		cacheState = "bypass"
@@ -183,6 +187,8 @@ func (s *Server) runBatchItem(parent context.Context, req RunRequest, item *Batc
 	}
 	ctx, cancel := context.WithTimeout(parent, deadline)
 	defer cancel()
+	isp := rc.sp.StartChild("run:" + req.Benchmark)
+	isp.SetAttr("key", item.Key)
 	j := &job{
 		req:      req,
 		key:      item.Key,
@@ -190,14 +196,25 @@ func (s *Server) runBatchItem(parent context.Context, req RunRequest, item *Batc
 		ctx:      ctx,
 		enqueued: s.cfg.Now(),
 		done:     make(chan result, 1),
+		sp:       isp,
 	}
+	if isp.Sampled() {
+		j.exemplar = rc.traceID
+	}
+	j.qspan = isp.StartChild("queue_wait")
 	switch s.admit(j) {
 	case admitShed:
+		j.qspan.EndAborted()
+		isp.SetAttr("shed_reason", "queue_full")
+		isp.EndAborted()
 		s.shed.Inc()
 		item.Status = http.StatusTooManyRequests
 		item.Error = "admission queue full; retry after backoff"
 		return
 	case admitDraining:
+		j.qspan.EndAborted()
+		isp.SetAttr("shed_reason", "draining")
+		isp.EndAborted()
 		item.Status = http.StatusServiceUnavailable
 		item.Error = "server is draining"
 		return
@@ -209,11 +226,16 @@ func (s *Server) runBatchItem(parent context.Context, req RunRequest, item *Batc
 		select {
 		case res = <-j.done:
 		default:
+			// The worker will discard the stale job; the dangling
+			// queue_wait under isp is flushed (aborted) at finish.
+			isp.SetAttr("shed_reason", "deadline")
 			item.Status = http.StatusGatewayTimeout
 			item.Error = "deadline exceeded: " + ctx.Err().Error()
 			return
 		}
 	}
+	isp.SetAttr("cache", res.cache)
+	isp.End()
 	item.Status = res.status
 	item.Cache = res.cache
 	item.PhaseCache = res.phase

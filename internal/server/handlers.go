@@ -4,56 +4,100 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
-// AccessLogger serializes structured JSON access-log lines onto a writer.
+// AccessLogger emits one structured JSON line per request through
+// log/slog, so access logs, metrics and traces join on trace_id. The
+// JSON handler locks internally; one logger serves every request
+// goroutine.
 type AccessLogger struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	h slog.Handler
 }
 
-// NewAccessLogger logs one JSON object per request to w.
+// NewAccessLogger logs one JSON object per request to w. The record's
+// time is the request's start time (not the emit time), so log lines
+// sort by arrival and match what the span tree says.
 func NewAccessLogger(w io.Writer) *AccessLogger {
-	return &AccessLogger{enc: json.NewEncoder(w)}
+	return &AccessLogger{h: slog.NewJSONHandler(w, nil)}
 }
 
 // logExtra carries the run-specific fields the /run handler and workers
 // contribute to the request's access-log line.
 type logExtra struct {
-	Benchmark   string `json:"benchmark,omitempty"`
-	Key         string `json:"key,omitempty"`
-	Cache       string `json:"cache,omitempty"`
-	PhaseCache  string `json:"phase_cache,omitempty"`
-	QueueWaitUS int64  `json:"queue_wait_us,omitempty"`
-	RunUS       int64  `json:"run_us,omitempty"`
+	Benchmark   string
+	Key         string
+	Cache       string
+	PhaseCache  string
+	ShedReason  string
+	QueueWaitUS int64
+	RunUS       int64
 }
 
 // accessLine is one structured access-log record.
 type accessLine struct {
-	Time     string `json:"time"`
-	Method   string `json:"method"`
-	Path     string `json:"path"`
-	Status   int    `json:"status"`
-	Bytes    int64  `json:"bytes"`
-	DurUS    int64  `json:"dur_us"`
-	Remote   string `json:"remote,omitempty"`
-	logExtra        // flattened run fields
+	Start   time.Time
+	Method  string
+	Path    string
+	Status  int
+	Bytes   int64
+	DurUS   int64
+	Remote  string
+	TraceID string
+	Sampled bool
+	logExtra
 }
 
 func (l *AccessLogger) emit(line accessLine) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_ = l.enc.Encode(line) // an unloggable request must not fail the request
+	rec := slog.NewRecord(line.Start, slog.LevelInfo, "request", 0)
+	rec.AddAttrs(
+		slog.String("method", line.Method),
+		slog.String("path", line.Path),
+		slog.Int("status", line.Status),
+		slog.Int64("bytes", line.Bytes),
+		slog.Int64("dur_us", line.DurUS),
+	)
+	if line.Remote != "" {
+		rec.AddAttrs(slog.String("remote", line.Remote))
+	}
+	if line.TraceID != "" {
+		rec.AddAttrs(slog.String("trace_id", line.TraceID))
+	}
+	if line.Sampled {
+		rec.AddAttrs(slog.Bool("sampled", true))
+	}
+	if line.Benchmark != "" {
+		rec.AddAttrs(slog.String("benchmark", line.Benchmark))
+	}
+	if line.Key != "" {
+		rec.AddAttrs(slog.String("key", line.Key))
+	}
+	if line.Cache != "" {
+		rec.AddAttrs(slog.String("cache", line.Cache))
+	}
+	if line.PhaseCache != "" {
+		rec.AddAttrs(slog.String("phase_cache", line.PhaseCache))
+	}
+	if line.ShedReason != "" {
+		rec.AddAttrs(slog.String("shed_reason", line.ShedReason))
+	}
+	if line.QueueWaitUS != 0 {
+		rec.AddAttrs(slog.Int64("queue_wait_us", line.QueueWaitUS))
+	}
+	if line.RunUS != 0 {
+		rec.AddAttrs(slog.Int64("run_us", line.RunUS))
+	}
+	_ = l.h.Handle(context.Background(), rec) // an unloggable request must not fail the request
 }
 
 // statusWriter captures the status code and byte count a handler wrote.
@@ -79,20 +123,42 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-type extraKey struct{}
+// reqCtx is the per-request state instrument threads through the context:
+// the log fields handlers fill in, the request's root span (nil when
+// unsampled) and the trace id every response advertises.
+type reqCtx struct {
+	extra   logExtra
+	sp      *obs.Span
+	traceID string
+}
+
+type reqCtxKey struct{}
+
+// requestCtx returns the request's reqCtx (a throwaway one when the
+// handler runs outside instrument, as in direct tests).
+func requestCtx(r *http.Request) *reqCtx {
+	if rc, ok := r.Context().Value(reqCtxKey{}).(*reqCtx); ok {
+		return rc
+	}
+	return &reqCtx{}
+}
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /run         execute (or memo-serve) one benchmark run
-//	POST /batch       execute a set of runs, deduped against both caches
-//	POST /analyze     static effect/cost analysis with budget admission
-//	GET  /benchmarks  the shared machine-readable catalog
-//	GET  /metrics     Prometheus exposition of the server registry
-//	GET  /healthz     liveness (200 while the process serves)
-//	GET  /readyz      readiness (503 once drain begins)
+//	POST /run             execute (or memo-serve) one benchmark run
+//	POST /batch           execute a set of runs, deduped against both caches
+//	POST /analyze         static effect/cost analysis with budget admission
+//	GET  /benchmarks      the shared machine-readable catalog
+//	GET  /metrics         Prometheus exposition of the server registry
+//	GET  /debug/requests  recent + in-flight requests, slowest first
+//	GET  /debug/trace/<id>  one sampled request's merged Chrome trace
+//	GET  /healthz         liveness (200 while the process serves)
+//	GET  /readyz          readiness (503 once drain begins)
 //
-// Every request is access-logged (when a logger is configured) and
-// counted in oldend_requests_total by endpoint and status.
+// Every request is access-logged (when a logger is configured), counted
+// in oldend_requests_total by endpoint and status, and answered with an
+// X-Oldend-Trace-Id header — on shed and error paths too — so any
+// response can be quoted back at the trace endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
@@ -100,6 +166,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -114,35 +185,69 @@ func (s *Server) Handler() http.Handler {
 	return s.instrument(mux)
 }
 
-// instrument wraps the mux with access logging and request accounting.
+// instrument wraps the mux with tracing, access logging and request
+// accounting: it parses the incoming traceparent, makes the sampling
+// decision, stamps the trace id on the response before the handler can
+// write headers, and finishes the request's span tree afterwards.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Now()
-		extra := &logExtra{}
+		parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		sp := s.cfg.Tracer.StartRequest(r.Method, r.URL.Path, parent)
+		var traceID string
+		switch {
+		case sp.Sampled():
+			traceID = sp.TraceID().String()
+		case parent.Valid():
+			traceID = parent.TraceID.String()
+		default:
+			traceID = s.cfg.Tracer.NewTraceID().String()
+		}
+		// Every response — including 429/504 sheds — carries the id a
+		// client can quote in a bug report.
+		w.Header().Set("X-Request-Id", traceID)
+		w.Header().Set("X-Oldend-Trace-Id", traceID)
+
+		rc := &reqCtx{sp: sp, traceID: traceID}
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), extraKey{}, extra)))
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqCtxKey{}, rc)))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		durUS := s.cfg.Now().Sub(start).Microseconds()
 		s.cfg.Metrics.Counter("oldend_requests_total",
 			metrics.L("path", r.URL.Path),
 			metrics.L("code", strconv.Itoa(sw.status))).Inc()
+		s.cfg.Tracer.FinishRequest(sp, obs.ReqInfo{
+			TraceID:    traceID,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     sw.status,
+			Start:      start,
+			DurUS:      durUS,
+			Benchmark:  rc.extra.Benchmark,
+			Cache:      rc.extra.Cache,
+			ShedReason: rc.extra.ShedReason,
+		})
 		s.cfg.AccessLog.emit(accessLine{
-			Time:     start.UTC().Format(time.RFC3339Nano),
+			Start:    start,
 			Method:   r.Method,
 			Path:     r.URL.Path,
 			Status:   sw.status,
 			Bytes:    sw.bytes,
-			DurUS:    s.cfg.Now().Sub(start).Microseconds(),
+			DurUS:    durUS,
 			Remote:   r.RemoteAddr,
-			logExtra: *extra,
+			TraceID:  traceID,
+			Sampled:  sp.Sampled(),
+			logExtra: rc.extra,
 		})
 	})
 }
 
 // handleRun admits, waits and responds for one run request. Phases:
 // parse → cache probe → admission → queue wait → execution, with the
-// request deadline checked at every boundary.
+// request deadline checked at every boundary; each phase is a span on
+// sampled requests.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -159,20 +264,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.Key()
-	extra, _ := r.Context().Value(extraKey{}).(*logExtra)
-	if extra == nil {
-		extra = &logExtra{}
-	}
-	extra.Benchmark = req.Benchmark
-	extra.Key = key
+	rc := requestCtx(r)
+	rc.extra.Benchmark = req.Benchmark
+	rc.extra.Key = key
 
 	// Phase: cache probe. A hit returns the memoized bytes — verifiably
 	// identical to a fresh run by determinism — unless the request asked
 	// to bypass or cross-check.
+	probe := rc.sp.StartChild("cache_probe")
+	probe.SetAttr("key", key)
 	if !req.NoCache && !req.Verify {
 		if e, ok := s.cache.get(key); ok {
 			s.cacheHits.Inc()
-			extra.Cache = "hit"
+			rc.extra.Cache = "hit"
+			probe.SetAttr("cache", "hit")
+			probe.End()
 			w.Header().Set("X-Oldend-Cache", "hit")
 			w.Header().Set("X-Oldend-Trace-Digest", e.digest)
 			w.Header().Set("Content-Type", "application/json")
@@ -188,7 +294,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else if req.Verify {
 		cacheState = "verify"
 	}
-	extra.Cache = cacheState
+	rc.extra.Cache = cacheState
+	probe.SetAttr("cache", cacheState)
+	probe.End()
 
 	// Phase: admission. Deadline starts covering queue wait + run.
 	deadline := s.cfg.DefaultDeadline
@@ -207,22 +315,35 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx:      ctx,
 		enqueued: s.cfg.Now(),
 		done:     make(chan result, 1),
+		sp:       rc.sp,
 	}
+	if rc.sp.Sampled() {
+		j.exemplar = rc.traceID
+	}
+	// The queue_wait span must exist before admit: a worker may dequeue
+	// (and close it) before admit even returns.
+	j.qspan = rc.sp.StartChild("queue_wait")
 	switch s.admit(j) {
 	case admitShed:
+		j.qspan.EndAborted()
 		s.shed.Inc()
+		rc.extra.ShedReason = "queue_full"
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests,
 			"admission queue full; retry after backoff")
 		return
 	case admitDraining:
+		j.qspan.EndAborted()
+		rc.extra.ShedReason = "draining"
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 
 	// Phase: wait for a worker. If the deadline fires first the handler
-	// answers 504 and the worker discards the stale job when it surfaces.
+	// answers 504 and the worker discards the stale job when it surfaces;
+	// the dangling queue_wait span is flushed (aborted) at finish, so the
+	// 504's span tree is still complete.
 	var res result
 	select {
 	case res = <-j.done:
@@ -230,15 +351,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		select {
 		case res = <-j.done: // result arrived in the same instant; serve it
 		default:
-			extra.QueueWaitUS = s.cfg.Now().Sub(j.enqueued).Microseconds()
+			rc.extra.QueueWaitUS = s.cfg.Now().Sub(j.enqueued).Microseconds()
+			rc.extra.ShedReason = "deadline"
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
 			return
 		}
 	}
-	extra.Cache = res.cache
-	extra.PhaseCache = res.phase
-	extra.QueueWaitUS = res.queueWaitUS
-	extra.RunUS = res.runUS
+	rc.extra.Cache = res.cache
+	rc.extra.PhaseCache = res.phase
+	rc.extra.ShedReason = res.shed
+	rc.extra.QueueWaitUS = res.queueWaitUS
+	rc.extra.RunUS = res.runUS
 	if res.status != http.StatusOK {
 		writeError(w, res.status, res.errMsg)
 		return

@@ -8,7 +8,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/bench/record"
 	"repro/internal/coherence"
+	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/trace"
 )
 
 // This file is the server's phase-granular memoization: the second LRU
@@ -64,7 +66,13 @@ func phaseKey(req RunRequest, chain string) string {
 // a hit; the returned disposition feeds the X-Oldend-Phase-Cache header.
 // An unverified run — wrong answer versus the sequential reference — is
 // an executor error, never a cacheable result.
-func (s *Server) defaultExecutePhased(req RunRequest) (record.RunRecord, string, error) {
+//
+// When sp is sampled, the run attaches its own simulation recorder so
+// the span tree bottoms out in real cache-miss events, and each bench
+// phase ("build", "kernel", ...) becomes a child span. The recorder's
+// capacity matches what RunPhasedRecorded would allocate on its own, so
+// TraceDigest is byte-identical sampled or not.
+func (s *Server) defaultExecutePhased(req RunRequest, sp *obs.Span) (record.RunRecord, string, error) {
 	info, ok := bench.Get(req.Benchmark)
 	if !ok {
 		return record.RunRecord{}, "none", fmt.Errorf("unknown benchmark %q", req.Benchmark)
@@ -84,6 +92,21 @@ func (s *Server) defaultExecutePhased(req RunRequest) (record.RunRecord, string,
 		Scheme:   scheme,
 		Mode:     mode,
 	}
+	var simRec *trace.Recorder
+	if sp.Sampled() {
+		sp.SetAttr("benchmark", req.Benchmark)
+		sp.SetAttr("scheme", req.Scheme)
+		if req.Mode != "" {
+			sp.SetAttr("mode", req.Mode)
+		}
+		simRec = trace.New(s.cfg.TraceCapacity)
+		cfg.Trace = simRec
+		sp.AttachSim(simRec)
+		cfg.OnPhase = func(name string) func() {
+			ph := sp.StartChild("phase:" + name)
+			return ph.End
+		}
+	}
 
 	key := ""
 	var bs *bench.BuildState
@@ -94,6 +117,12 @@ func (s *Server) defaultExecutePhased(req RunRequest) (record.RunRecord, string,
 		}
 	}
 	res, rec, nbs, reused, err := bench.RunPhasedRecorded(info, cfg, bs)
+	if simRec != nil {
+		if d := simRec.Dropped(); d > 0 {
+			s.traceDropped.Add(d)
+			sp.SetAttrInt("sim_dropped", d)
+		}
+	}
 	if err != nil {
 		return rec, "none", err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/bench/record"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 
 	_ "repro/internal/bench/em3d"
 	_ "repro/internal/bench/health"
@@ -319,7 +320,7 @@ func TestBatchColdSweepSharesBuild(t *testing.T) {
 
 // TestBatchValidation pins the request-shape errors.
 func TestBatchValidation(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, Execute: func(req RunRequest) (record.RunRecord, error) {
+	s := New(Config{Workers: 1, QueueDepth: 4, Execute: func(req RunRequest, _ *obs.Span) (record.RunRecord, error) {
 		return record.RunRecord{Benchmark: req.Benchmark, Verified: true}, nil
 	}})
 	defer s.Shutdown(context.Background())

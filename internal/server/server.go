@@ -27,6 +27,7 @@ import (
 	"repro/internal/bench/record"
 	"repro/internal/coherence"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rt"
 )
 
@@ -63,13 +64,15 @@ func (q RunRequest) Key() string {
 
 // ExecuteFunc runs one normalized request to completion and returns its
 // record. The default executes the registered benchmark; tests substitute
-// controllable fakes to exercise queueing without timing dependence.
-type ExecuteFunc func(req RunRequest) (record.RunRecord, error)
+// controllable fakes to exercise queueing without timing dependence. sp
+// is the request's execute span — nil unless the request is sampled, and
+// safe to use either way.
+type ExecuteFunc func(req RunRequest, sp *obs.Span) (record.RunRecord, error)
 
 // ExecutePhasedFunc is ExecuteFunc with the phase-cache disposition:
 // "hit" (build state restored), "miss" (built and stored) or "none" (the
 // configuration is not phase-cacheable).
-type ExecutePhasedFunc func(req RunRequest) (record.RunRecord, string, error)
+type ExecutePhasedFunc func(req RunRequest, sp *obs.Span) (record.RunRecord, string, error)
 
 // Config tunes a Server. The zero value is usable: every field has a
 // default chosen for a small local instance.
@@ -101,6 +104,24 @@ type Config struct {
 	Metrics *metrics.Registry
 	// AccessLog, when non-nil, receives one JSON object per request.
 	AccessLog *AccessLogger
+	// Tracer owns request sampling and span retention; when nil one is
+	// built from SampleEvery/DebugRequests. Supplying a tracer lets
+	// tests pin its clock and randomness.
+	Tracer *obs.Tracer
+	// SampleEvery is the head-sampling rate when Tracer is nil: N >= 1
+	// samples every Nth request, 0 (the default) samples only requests
+	// carrying an upstream-sampled traceparent, negative disables
+	// tracing entirely.
+	SampleEvery int
+	// DebugRequests bounds the finished-request ring behind
+	// GET /debug/requests when Tracer is nil (0 picks the obs default).
+	DebugRequests int
+	// TraceCapacity caps each sampled request's simulation-event ring; 0
+	// picks the trace package default — the same capacity unsampled runs
+	// record into, which keeps sampled trace digests byte-identical.
+	TraceCapacity int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 	// Execute substitutes the run executor (tests); nil means the real
 	// benchmark executor. A substituted executor bypasses the phase
 	// cache; use ExecutePhased to substitute that path too.
@@ -141,6 +162,13 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.New(obs.Config{
+			SampleEvery: c.SampleEvery,
+			RequestRing: c.DebugRequests,
+			Now:         c.Now,
+		})
+	}
 	return c
 }
 
@@ -153,6 +181,7 @@ type result struct {
 	errMsg      string
 	cache       string // hit | miss | bypass | verify
 	phase       string // hit | miss | none | "" (executor has no phase path)
+	shed        string // shed reason when the worker refused the job
 	queueWaitUS int64
 	runUS       int64
 }
@@ -165,6 +194,14 @@ type job struct {
 	ctx      context.Context
 	enqueued time.Time
 	done     chan result // buffered(1): workers never block on delivery
+
+	// Tracing state, all nil/"" for unsampled requests: the request's
+	// parent span (execute and serialize spans hang off it), the
+	// queue_wait span the worker closes on dequeue, and the trace id
+	// stored as the latency histograms' exemplar.
+	sp       *obs.Span
+	qspan    *obs.Span
+	exemplar string
 }
 
 // Server is the oldend service core. Create with New, mount Handler, and
@@ -184,18 +221,19 @@ type Server struct {
 	draining atomic.Bool
 
 	// server-level metrics (all wall-clock observations in microseconds)
-	shed        *metrics.Counter
-	expired     *metrics.Counter
-	cacheHits   *metrics.Counter
-	cacheMisses *metrics.Counter
-	verifyOK    *metrics.Counter
-	verifyBad   *metrics.Counter
-	phaseHits   *metrics.Counter
-	phaseMisses *metrics.Counter
-	inflight    *metrics.Gauge
-	queueWait   *metrics.Histogram
-	runLatency  *metrics.Histogram
-	simCycles   *metrics.Counter
+	shed         *metrics.Counter
+	expired      *metrics.Counter
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	verifyOK     *metrics.Counter
+	verifyBad    *metrics.Counter
+	phaseHits    *metrics.Counter
+	phaseMisses  *metrics.Counter
+	inflight     *metrics.Gauge
+	queueWait    *metrics.Histogram
+	runLatency   *metrics.Histogram
+	simCycles    *metrics.Counter
+	traceDropped *metrics.Counter
 }
 
 // New builds the server and starts its worker pool.
@@ -209,8 +247,8 @@ func New(cfg Config) *Server {
 	}
 	switch {
 	case cfg.Execute != nil:
-		s.execute = func(req RunRequest) (record.RunRecord, string, error) {
-			rec, err := cfg.Execute(req)
+		s.execute = func(req RunRequest, sp *obs.Span) (record.RunRecord, string, error) {
+			rec, err := cfg.Execute(req, sp)
 			return rec, "", err
 		}
 	case cfg.ExecutePhased != nil:
@@ -235,6 +273,7 @@ func New(cfg Config) *Server {
 	m.SetHelp("oldend_run_us", "Wall-clock execution time of one simulation run, in microseconds.")
 	m.SetHelp("oldend_runs_total", "Completed simulation runs, by benchmark.")
 	m.SetHelp("oldend_sim_cycles_total", "Simulated cycles executed across all completed runs.")
+	m.SetHelp("oldend_trace_dropped_total", "Simulation trace events lost to per-request ring wrap-around on sampled runs.")
 	s.shed = m.Counter("oldend_shed_total")
 	s.expired = m.Counter("oldend_deadline_expired_total")
 	s.cacheHits = m.Counter("oldend_cache_hits_total")
@@ -247,6 +286,7 @@ func New(cfg Config) *Server {
 	s.queueWait = m.Histogram("oldend_queue_wait_us")
 	s.runLatency = m.Histogram("oldend_run_us")
 	s.simCycles = m.Counter("oldend_sim_cycles_total")
+	s.traceDropped = m.Counter("oldend_trace_dropped_total")
 	m.RegisterFunc("oldend_queue_depth", metrics.KindGauge, func() int64 { return int64(len(s.queue)) })
 	m.RegisterFunc("oldend_cache_entries", metrics.KindGauge, func() int64 { return int64(s.cache.len()) })
 	m.RegisterFunc("oldend_phase_cache_entries", metrics.KindGauge, func() int64 { return int64(s.phases.len()) })
@@ -259,6 +299,9 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the server's registry (shared with Config.Metrics).
 func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Tracer exposes the server's request tracer (shared with Config.Tracer).
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -277,6 +320,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(idle)
 	}()
+	// Whatever sampled requests are still open when drain completes (or
+	// is abandoned) get their span trees flushed with the aborted attr
+	// and retained, so a post-mortem can still read them.
+	defer s.cfg.Tracer.AbortInflight()
 	select {
 	case <-idle:
 		return nil
@@ -318,24 +365,35 @@ func (s *Server) admit(j *job) int {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		j.qspan.End()
 		wait := s.cfg.Now().Sub(j.enqueued).Microseconds()
-		s.queueWait.Observe(wait)
+		s.queueWait.ObserveExemplar(wait, j.exemplar)
 		if j.ctx.Err() != nil {
 			s.expired.Inc()
-			j.done <- result{status: http.StatusGatewayTimeout, errMsg: "deadline expired while queued", cache: j.cache, queueWaitUS: wait}
+			j.done <- result{status: http.StatusGatewayTimeout, errMsg: "deadline expired while queued", cache: j.cache, shed: "deadline_queued", queueWaitUS: wait}
 			continue
 		}
+		ex := j.sp.StartChild("execute")
 		s.inflight.Add(1)
 		start := s.cfg.Now()
-		rec, phase, err := s.execute(j.req)
+		rec, phase, err := s.execute(j.req, ex)
 		s.inflight.Add(-1)
 		runUS := s.cfg.Now().Sub(start).Microseconds()
-		s.runLatency.Observe(runUS)
+		s.runLatency.ObserveExemplar(runUS, j.exemplar)
 		if err != nil {
+			ex.SetAttr("error", err.Error())
+			ex.EndAborted()
 			j.done <- result{status: http.StatusInternalServerError, errMsg: err.Error(), cache: j.cache, queueWaitUS: wait, runUS: runUS}
 			continue
 		}
+		if phase != "" {
+			ex.SetAttr("phase_cache", phase)
+		}
+		ex.SetSimCycles(rec.Cycles)
+		ex.End()
+		ser := j.sp.StartChild("serialize")
 		body, merr := marshalRecord(rec)
+		ser.End()
 		if merr != nil {
 			j.done <- result{status: http.StatusInternalServerError, errMsg: merr.Error(), cache: j.cache, queueWaitUS: wait, runUS: runUS}
 			continue

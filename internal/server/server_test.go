@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bench/record"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 
 	_ "repro/internal/bench/treeadd"
 )
@@ -34,7 +35,7 @@ func newBlockingExec() *blockingExec {
 	}
 }
 
-func (b *blockingExec) fn(req RunRequest) (record.RunRecord, error) {
+func (b *blockingExec) fn(req RunRequest, _ *obs.Span) (record.RunRecord, error) {
 	b.calls.Add(1)
 	b.started <- req.Key()
 	<-b.release
@@ -279,7 +280,7 @@ type instantExec struct {
 	digests []string // digest per call; last repeats
 }
 
-func (e *instantExec) fn(req RunRequest) (record.RunRecord, error) {
+func (e *instantExec) fn(req RunRequest, _ *obs.Span) (record.RunRecord, error) {
 	n := int(e.calls.Add(1)) - 1
 	d := e.digests[len(e.digests)-1]
 	if n < len(e.digests) {

@@ -20,9 +20,6 @@ import (
 // are per-event noise at timeline scale; the profile and digest keep
 // them); scheduler start/end bookkeeping events are likewise omitted.
 func (r *Recorder) WriteChrome(w io.Writer) error {
-	events := r.Events()
-	sites := r.Sites()
-
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -42,6 +39,27 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		_, err = bw.Write(b)
 		return err
 	}
+	if err := r.EmitChrome(emit); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EmitChrome streams the trace's Chrome trace_event objects — metadata
+// first, then one object per renderable event — through emit. It is the
+// body of WriteChrome without the JSON envelope, so a caller composing a
+// merged export (service spans plus simulation events in one file) can
+// interleave these objects into its own traceEvents array.
+//
+// When the recorder's ring wrapped, a final metadata event named
+// "trace_dropped" records how many events were lost, so a truncated
+// timeline declares itself instead of silently looking complete.
+func (r *Recorder) EmitChrome(emit func(obj map[string]any) error) error {
+	events := r.Events()
+	sites := r.Sites()
 
 	// Name every processor and thread seen in the trace.
 	procs := map[int16]bool{}
@@ -82,6 +100,14 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		if err := emit(map[string]any{
 			"ph": "M", "name": "thread_name", "pid": t[0], "tid": t[1],
 			"args": map[string]any{"name": fmt.Sprintf("thread %d", t[1])},
+		}); err != nil {
+			return err
+		}
+	}
+	if dropped := r.Dropped(); dropped > 0 {
+		if err := emit(map[string]any{
+			"ph": "M", "name": "trace_dropped", "pid": 0,
+			"args": map[string]any{"dropped_events": dropped},
 		}); err != nil {
 			return err
 		}
@@ -175,8 +201,5 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return nil
 }

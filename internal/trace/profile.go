@@ -103,6 +103,10 @@ type Profile struct {
 	Touches     int64
 	TouchWait   Histogram
 	MissLatency Histogram
+
+	// Dropped counts events lost to ring wrap-around before aggregation:
+	// when non-zero, every figure above is a lower bound on the run.
+	Dropped int64
 }
 
 // Profile aggregates the recorded events into per-site and per-page
@@ -111,7 +115,7 @@ type Profile struct {
 func (r *Recorder) Profile() *Profile {
 	events := r.Events()
 	sites := r.Sites()
-	p := &Profile{}
+	p := &Profile{Dropped: r.Dropped()}
 	siteAgg := map[int32]*SiteProfile{}
 	pageAgg := map[uint32]*PageProfile{}
 	siteOf := func(id int32) *SiteProfile {
@@ -202,6 +206,9 @@ func (p *Profile) Format(topN int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "migrations %d, returns %d, spawns %d, touches %d (mean wait %.0f cyc)\n",
 		p.Migrations, p.Returns, p.Spawns, p.Touches, p.TouchWait.Mean())
+	if p.Dropped > 0 {
+		fmt.Fprintf(&sb, "WARNING: ring dropped %d events; all figures are lower bounds\n", p.Dropped)
+	}
 	if p.MissLatency.Count > 0 {
 		fmt.Fprintf(&sb, "miss latency: n=%d mean=%.0f p50<%d p95<%d max=%d cyc\n",
 			p.MissLatency.Count, p.MissLatency.Mean(),

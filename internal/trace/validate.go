@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeStats summarizes a validated Chrome trace_event file: what kinds
+// of events it holds and which processes emitted them. Tests and the
+// smoke script use it to require properties beyond well-formedness —
+// e.g. "the merged export must contain both service spans and
+// simulation events".
+type ChromeStats struct {
+	Events   int            // renderable (non-metadata) events
+	Metadata int            // ph:"M" metadata events
+	ByPhase  map[string]int // count per ph value
+	ByCat    map[string]int // count per cat value
+	ByPid    map[int64]int  // count per pid (renderable events only)
+	// DroppedEvents is the value declared by a "trace_dropped" metadata
+	// event, 0 when the trace declares itself complete.
+	DroppedEvents int64
+}
+
+// ValidateChrome strictly parses a Chrome trace_event JSON file of the
+// shape this package (and the obs merged export) writes: a single object
+// with displayTimeUnit and a traceEvents array. Every event must be an
+// object with a known ph, a string name, and an integer pid; timed
+// events additionally need integer ts (and non-negative dur for ph:"X").
+// Any unknown envelope key, trailing data, or malformed event fails.
+func ValidateChrome(r io.Reader) (*ChromeStats, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	var env struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("trace: invalid chrome envelope: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after chrome envelope")
+	}
+	if env.DisplayTimeUnit != "ms" {
+		return nil, fmt.Errorf("trace: displayTimeUnit %q, want \"ms\"", env.DisplayTimeUnit)
+	}
+	if env.TraceEvents == nil {
+		return nil, fmt.Errorf("trace: missing traceEvents array")
+	}
+	stats := &ChromeStats{
+		ByPhase: map[string]int{},
+		ByCat:   map[string]int{},
+		ByPid:   map[int64]int{},
+	}
+	for i, raw := range env.TraceEvents {
+		// Events carry heterogeneous fields; decode generically but
+		// require each field we inspect to have the right type.
+		var obj map[string]any
+		evDec := json.NewDecoder(bytes.NewReader(raw))
+		evDec.UseNumber()
+		if err := evDec.Decode(&obj); err != nil {
+			return nil, fmt.Errorf("trace: event %d: not an object: %w", i, err)
+		}
+		ph, ok := obj["ph"].(string)
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d: missing ph", i)
+		}
+		switch ph {
+		case "M", "X", "s", "f", "i", "b", "e":
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown ph %q", i, ph)
+		}
+		name, ok := obj["name"].(string)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		pid, err := intField(obj, "pid")
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		stats.ByPhase[ph]++
+		if cat, ok := obj["cat"].(string); ok {
+			stats.ByCat[cat]++
+		}
+		if ph == "M" {
+			stats.Metadata++
+			if name == "trace_dropped" {
+				args, _ := obj["args"].(map[string]any)
+				if args == nil {
+					return nil, fmt.Errorf("trace: event %d: trace_dropped without args", i)
+				}
+				d, err := intField(args, "dropped_events")
+				if err != nil {
+					return nil, fmt.Errorf("trace: event %d: trace_dropped: %w", i, err)
+				}
+				stats.DroppedEvents = d
+			}
+			continue
+		}
+		stats.Events++
+		stats.ByPid[pid]++
+		if _, err := intField(obj, "ts"); err != nil {
+			return nil, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+		}
+		if ph == "X" {
+			dur, err := intField(obj, "dur")
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d (%s): %w", i, name, err)
+			}
+			if dur < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s): negative dur %d", i, name, dur)
+			}
+		}
+	}
+	return stats, nil
+}
+
+func intField(obj map[string]any, key string) (int64, error) {
+	n, ok := obj[key].(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("missing or non-numeric %s", key)
+	}
+	v, err := n.Int64()
+	if err != nil {
+		return 0, fmt.Errorf("non-integer %s %q", key, n)
+	}
+	return v, nil
+}

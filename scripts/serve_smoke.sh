@@ -6,10 +6,15 @@
 #   2. a queue-saturating mixed burst completes with zero 5xx (429
 #      shedding is the admission-control contract, not an error) and the
 #      latency SLO holds on cached traffic;
-#   3. SIGTERM during load drains in-flight jobs cleanly: readiness fails
+#   3. end-to-end tracing: a request with a sampled traceparent keeps its
+#      trace id on the response, appears in /debug/requests, and its
+#      /debug/trace/<id> export — service spans merged with simulated
+#      cache events — passes the strict Chrome trace validator;
+#   4. SIGTERM during load drains in-flight jobs cleanly: readiness fails
 #      first, admitted runs finish, the process exits 0.
-# Artifacts (latency reports, /metrics scrape, access log) land in
-# $SMOKE_OUT for CI upload.
+# Artifacts (latency reports, /metrics scrape, access log, the sampled
+# Chrome trace and /debug/requests snapshot) land in $SMOKE_OUT for CI
+# upload.
 set -euo pipefail
 
 ADDR=${SMOKE_ADDR:-127.0.0.1:18080}
@@ -18,6 +23,7 @@ mkdir -p "$OUT"
 
 go build -o "$OUT/oldend" ./cmd/oldend
 go build -o "$OUT/oldenload" ./cmd/oldenload
+go build -o "$OUT/validatetrace" ./cmd/validatetrace
 
 "$OUT/oldend" -addr "$ADDR" -workers 2 -queue 4 2>"$OUT/oldend.log" &
 OLDEND_PID=$!
@@ -47,6 +53,32 @@ curl -fsS -X POST -d '{"benchmark":"treeadd","procs":4,"scale":64,"verify":true}
   "http://$ADDR/run" >/dev/null
 echo "smoke: cache hit byte-identical, digest attached, verify re-run matched"
 
+# 3 (before the load phases, while the server is quiet). End-to-end
+# tracing: a fixed sampled traceparent must come back as the response's
+# trace id, show up in /debug/requests, and produce a merged Chrome
+# trace that passes the strict validator with both service spans and
+# simulated cache events.
+TID=4bf92f3577b34da6a3ce929d0e0e4736
+curl -fsS -X POST -d '{"benchmark":"em3d","procs":2,"scale":64,"no_cache":true}' \
+  -H "traceparent: 00-$TID-00f067aa0ba902b7-01" \
+  "http://$ADDR/run" -o /dev/null -D "$OUT/htrace.txt"
+grep -qi "^X-Oldend-Trace-Id: $TID" "$OUT/htrace.txt"
+grep -qi "^X-Request-Id: $TID" "$OUT/htrace.txt"
+curl -fsS "http://$ADDR/debug/requests" >"$OUT/debug-requests.json"
+grep -q "$TID" "$OUT/debug-requests.json"
+grep -q '"dominant"' "$OUT/debug-requests.json"
+curl -fsS "http://$ADDR/debug/trace/$TID" >"$OUT/trace-$TID.json"
+"$OUT/validatetrace" -min-service 4 -require-sim "$OUT/trace-$TID.json"
+curl -fsS "http://$ADDR/debug/trace/$TID?format=tree" >"$OUT/trace-tree-$TID.json"
+grep -q '"queue_wait"' "$OUT/trace-tree-$TID.json"
+# Error responses carry a trace id too — the header contract covers
+# every status, not just 200s.
+ERR_CODE=$(curl -s -o /dev/null -D "$OUT/herr.txt" -w '%{http_code}' \
+  -X POST -d 'not json' "http://$ADDR/run")
+[ "$ERR_CODE" = 400 ]
+grep -qi '^X-Oldend-Trace-Id: ' "$OUT/herr.txt"
+echo "smoke: traceparent round-trip, /debug endpoints and merged Chrome trace validated"
+
 # 2a. Deliberate over-admission: open loop far beyond capacity. Gate:
 # zero 5xx, every non-200 a clean 429 shed.
 "$OUT/oldenload" -url "http://$ADDR" -rps 250 -duration 5s \
@@ -54,11 +86,16 @@ echo "smoke: cache hit byte-identical, digest attached, verify re-run matched"
   -slo-error-rate 0 -min-requests 100 \
   -out "$OUT/load-burst.json" | tee "$OUT/load-burst.txt"
 
-# 2b. Cached closed loop: latency SLO on the memoized hot path.
+# 2b. Cached closed loop: latency SLO on the memoized hot path, with
+# every 10th request traced so the run ends in span breakdowns of the
+# slowest sampled requests.
 "$OUT/oldenload" -url "http://$ADDR" -c 8 -duration 3s \
   -mix "treeadd:4:64,em3d:2:64" \
+  -trace-every 10 -slowest 3 \
   -slo-p95 250 -slo-error-rate 0 -min-requests 100 \
   -out "$OUT/load-cached.json" | tee "$OUT/load-cached.txt"
+grep -q 'dominates at depth' "$OUT/load-cached.txt" \
+  || { echo "smoke: oldenload printed no span breakdowns" >&2; exit 1; }
 
 # Server-side cross-check via the metrics scrape artifact.
 curl -fsS "http://$ADDR/metrics" >"$OUT/metrics.prom"

@@ -2,7 +2,7 @@ GO ?= go
 
 BENCHES = treeadd power tsp mst bisort voronoi em3d barneshut perimeter health
 
-.PHONY: check build vet fmt static test race fuzz oldenvet lint analyze phases bench report perfgate wallclock profile benchstat serve load servesmoke update-goldens
+.PHONY: check build vet fmt static test race fuzz oldenvet lint analyze phases bench report perfgate wallclock profile benchstat serve load servesmoke cluster clustersmoke update-goldens
 
 # Each fuzz target gets a short smoke run in check; raise FUZZTIME for a
 # real fuzzing session.
@@ -135,6 +135,19 @@ load:
 
 servesmoke:
 	bash scripts/serve_smoke.sh
+
+# The sharded cluster. `make cluster` boots three oldend replicas behind
+# oldenrouter on one box (ctrl-C tears everything down); point clients
+# or `oldenload -via-router` at the router — the surface is identical to
+# one oldend. `make clustersmoke` reproduces the CI cluster smoke:
+# routed cache-hit byte-identity, the cross-replica verify sweep at zero
+# mismatches, the three-shard balance gate, shard loss with zero 5xx,
+# and tracing through the router.
+cluster:
+	bash scripts/cluster.sh
+
+clustersmoke:
+	bash scripts/cluster_smoke.sh
 
 # One flag, one verb: every golden-pinning test in the tree takes
 # `-update` to rewrite its files from the current build (lint goldens,

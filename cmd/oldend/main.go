@@ -70,6 +70,7 @@ func main() {
 	traceRequests := flag.Int("trace-requests", 256, "finished-request ring size behind /debug/requests")
 	traceCapacity := flag.Int("trace-capacity", 0, "per-sampled-request simulation event ring (0 = simulator default; overflow is counted, never silent)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	shardName := flag.String("shard", "", "shard name this replica advertises in X-Oldend-Shard when serving behind oldenrouter")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -83,6 +84,7 @@ func main() {
 		DebugRequests:     *traceRequests,
 		TraceCapacity:     *traceCapacity,
 		EnablePprof:       *pprofOn,
+		ShardName:         *shardName,
 	}
 	if !*quiet {
 		cfg.AccessLog = server.NewAccessLogger(os.Stderr)

@@ -77,6 +77,7 @@ type sample struct {
 	status  int // 0 = transport error
 	cache   string
 	phase   string
+	shard   string // X-Oldend-Shard: which replica answered (cluster mode)
 	latency time.Duration
 	// traceID is set when the request carried a sampled traceparent, so
 	// the server retained its span tree for post-run inspection.
@@ -112,8 +113,20 @@ type Report struct {
 	PhaseMisses int64            `json:"phase_cache_misses"`
 	Throughput  float64          `json:"throughput_rps"` // successful responses per second
 	Latency     LatencyMS        `json:"latency_ms"`     // over successful responses
-	SlowTraces  []SlowTrace      `json:"slow_traces,omitempty"`
-	Breaches    []string         `json:"slo_breaches,omitempty"`
+	// Shards is the per-shard balance view (cluster mode, -via-router):
+	// how the router spread this run's traffic, attributed by the
+	// X-Oldend-Shard header each response carried.
+	Shards     map[string]*ShardStats `json:"shards,omitempty"`
+	SlowTraces []SlowTrace            `json:"slow_traces,omitempty"`
+	Breaches   []string               `json:"slo_breaches,omitempty"`
+}
+
+// ShardStats is one shard's slice of a -via-router run.
+type ShardStats struct {
+	Requests  int64   `json:"requests"`
+	Succeeded int64   `json:"succeeded"`
+	CacheHits int64   `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate_pct"`
 }
 
 // LatencyMS summarizes successful-response latency in milliseconds.
@@ -147,6 +160,9 @@ func main() {
 	out := flag.String("out", "", "write the JSON report to this file")
 	traceEvery := flag.Int("trace-every", 0, "send a sampled W3C traceparent on every Nth request so the server retains its span tree (0 = never)")
 	slowest := flag.Int("slowest", 3, "after the run, fetch and print span breakdowns for the K slowest sampled requests")
+	viaRouter := flag.Bool("via-router", false, "cluster mode: the target is an oldenrouter; report per-shard request balance and hit rates from X-Oldend-Shard")
+	expectShards := flag.Int("expect-shards", 0, "cluster mode: fail the gate when fewer distinct shards answered (0 = off)")
+	maxShardSpread := flag.Float64("max-shard-spread", 0, "cluster mode: fail the gate when max/min per-shard request counts exceed this ratio (0 = off)")
 	flag.Parse()
 
 	schemeList := []string{*scheme}
@@ -197,6 +213,7 @@ func main() {
 			status:  resp.StatusCode,
 			cache:   resp.Header.Get("X-Oldend-Cache"),
 			phase:   resp.Header.Get("X-Oldend-Phase-Cache"),
+			shard:   resp.Header.Get("X-Oldend-Shard"),
 			latency: lat,
 		}
 		if sampled {
@@ -250,9 +267,10 @@ func main() {
 	}
 	wg.Wait()
 
-	rep := summarize(samples, loopMode, *url, *duration, mixNames(mix), drops.Load())
+	rep := summarize(samples, loopMode, *url, *duration, mixNames(mix), drops.Load(), *viaRouter)
 	rep.SlowTraces = slowTraces(client, *url, samples, *slowest)
 	gate(&rep, *sloP50, *sloP95, *sloP99, *sloErrRate, *maxShedRate, *minRequests)
+	gateShards(&rep, *expectShards, *maxShardSpread)
 
 	fmt.Print(formatReport(rep))
 	if *out != "" {
@@ -443,7 +461,7 @@ func mixNames(mix [][]byte) []string {
 	return names
 }
 
-func summarize(samples []sample, mode, url string, dur time.Duration, mix []string, drops int64) Report {
+func summarize(samples []sample, mode, url string, dur time.Duration, mix []string, drops int64, viaRouter bool) Report {
 	rep := Report{
 		Mode:        mode,
 		URL:         url,
@@ -451,6 +469,9 @@ func summarize(samples []sample, mode, url string, dur time.Duration, mix []stri
 		Mix:         mix,
 		ByStatus:    map[string]int64{},
 		ClientDrops: drops,
+	}
+	if viaRouter {
+		rep.Shards = map[string]*ShardStats{}
 	}
 	var okLats []time.Duration
 	for _, s := range samples {
@@ -460,12 +481,27 @@ func summarize(samples []sample, mode, url string, dur time.Duration, mix []stri
 			continue
 		}
 		rep.ByStatus[strconv.Itoa(s.status)]++
+		var sh *ShardStats
+		if rep.Shards != nil && s.shard != "" {
+			sh = rep.Shards[s.shard]
+			if sh == nil {
+				sh = &ShardStats{}
+				rep.Shards[s.shard] = sh
+			}
+			sh.Requests++
+		}
 		switch {
 		case s.status == http.StatusOK:
 			rep.Succeeded++
 			okLats = append(okLats, s.latency)
+			if sh != nil {
+				sh.Succeeded++
+			}
 			if s.cache == "hit" {
 				rep.CacheHits++
+				if sh != nil {
+					sh.CacheHits++
+				}
 			}
 			switch s.phase {
 			case "hit":
@@ -484,6 +520,9 @@ func summarize(samples []sample, mode, url string, dur time.Duration, mix []stri
 	}
 	if dur > 0 {
 		rep.Throughput = float64(rep.Succeeded) / dur.Seconds()
+	}
+	for _, sh := range rep.Shards {
+		sh.HitRate = pct(sh.CacheHits, sh.Succeeded)
 	}
 	if len(okLats) > 0 {
 		sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
@@ -553,6 +592,36 @@ func gate(rep *Report, p50, p95, p99, errRate, shedRate float64, minRequests int
 	check("p99", rep.Latency.P99, p99)
 }
 
+// gateShards appends cluster-mode breaches: fewer shards answered than
+// the cluster is supposed to have (a replica silently absorbed nothing —
+// dead ring entry or mis-hashing router), or per-shard request counts
+// spread wider than the allowed max/min ratio (the consistent-hash
+// balance contract).
+func gateShards(rep *Report, expectShards int, maxSpread float64) {
+	if expectShards > 0 && len(rep.Shards) < expectShards {
+		rep.Breaches = append(rep.Breaches,
+			fmt.Sprintf("%d distinct shards answered, need >= %d", len(rep.Shards), expectShards))
+	}
+	if maxSpread > 0 && len(rep.Shards) > 0 {
+		minReq, maxReq := int64(math.MaxInt64), int64(0)
+		for _, sh := range rep.Shards {
+			if sh.Requests < minReq {
+				minReq = sh.Requests
+			}
+			if sh.Requests > maxReq {
+				maxReq = sh.Requests
+			}
+		}
+		if minReq == 0 {
+			rep.Breaches = append(rep.Breaches, "a shard answered zero requests (spread unbounded)")
+		} else if spread := float64(maxReq) / float64(minReq); spread > maxSpread {
+			rep.Breaches = append(rep.Breaches,
+				fmt.Sprintf("shard load spread %.2f (max %d / min %d requests) > %.2f",
+					spread, maxReq, minReq, maxSpread))
+		}
+	}
+}
+
 func formatReport(r Report) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "oldenload: %s loop against %s for %.1fs\n", r.Mode, r.URL, r.DurationSec)
@@ -579,6 +648,19 @@ func formatReport(r Report) string {
 	fmt.Fprintf(&sb, "throughput: %.1f ok/s\n", r.Throughput)
 	fmt.Fprintf(&sb, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Mean, r.Latency.Max)
+	if len(r.Shards) > 0 {
+		names := make([]string, 0, len(r.Shards))
+		for n := range r.Shards {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		sb.WriteString("per-shard balance:\n")
+		for _, n := range names {
+			sh := r.Shards[n]
+			fmt.Fprintf(&sb, "  %-12s requests=%d ok=%d cache-hits=%d (%.1f%%)\n",
+				n, sh.Requests, sh.Succeeded, sh.CacheHits, sh.HitRate)
+		}
+	}
 	if len(r.SlowTraces) > 0 {
 		sb.WriteString("slowest sampled requests:\n")
 		for i, st := range r.SlowTraces {

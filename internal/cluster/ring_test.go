@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server"
+)
+
+var testReplicas = []string{
+	"http://10.0.0.1:8081",
+	"http://10.0.0.2:8081",
+	"http://10.0.0.3:8081",
+}
+
+// configSpaceKeys builds the canonical cache keys of the realistic
+// config space: the ten pinned kernels × the three coherence schemes ×
+// P ∈ {1,2,4,8} — the same CacheKey string the server memoizes under
+// and the router hashes, so the distribution bound below is measured
+// over exactly the keys production traffic produces.
+func configSpaceKeys() []string {
+	benches := []string{"treeadd", "power", "tsp", "mst", "bisort",
+		"voronoi", "em3d", "barneshut", "perimeter", "health"}
+	schemes := []string{"local", "global", "bilateral"}
+	var keys []string
+	for _, b := range benches {
+		for _, s := range schemes {
+			for _, p := range []int{1, 2, 4, 8} {
+				keys = append(keys, server.CacheKey(server.RunRequest{
+					Benchmark: b, Procs: p, Scale: 64, Scheme: s, Mode: "heuristic",
+				}))
+			}
+		}
+	}
+	return keys
+}
+
+// TestRingDeterministic pins the property the whole cluster rests on:
+// ownership is a pure function of (replicas, vnodes) — identical across
+// ring rebuilds (process restarts) and across replica list order, with
+// no coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(testReplicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(testReplicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed list: same set, different order.
+	rev := []string{testReplicas[2], testReplicas[1], testReplicas[0]}
+	c, err := NewRing(rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range configSpaceKeys() {
+		oa, ob, oc := a.Owner(key), b.Owner(key), c.Owner(key)
+		if oa != ob {
+			t.Fatalf("rebuild moved %q: %s vs %s", key, oa, ob)
+		}
+		if oa != oc {
+			t.Fatalf("replica order moved %q: %s vs %s", key, oa, oc)
+		}
+		// The full owner chain must agree too (retry/replication order).
+		ca, cc := a.Owners(key, 3), c.Owners(key, 3)
+		for i := range ca {
+			if ca[i] != cc[i] {
+				t.Fatalf("owner chain for %q differs at %d: %v vs %v", key, i, ca, cc)
+			}
+		}
+	}
+}
+
+// TestRingDistribution bounds the spread of the real config space over
+// three replicas (max/mean and min/mean over the 120 production keys)
+// and, with a large synthetic key set, the asymptotic uniformity of the
+// ring itself.
+func TestRingDistribution(t *testing.T) {
+	ring, err := NewRing(testReplicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(keys []string) map[string]int {
+		c := map[string]int{}
+		for _, k := range keys {
+			c[ring.Owner(k)]++
+		}
+		return c
+	}
+
+	keys := configSpaceKeys()
+	counts := count(keys)
+	mean := float64(len(keys)) / float64(len(testReplicas))
+	for r, n := range counts {
+		if f := float64(n) / mean; f > 1.6 || f < 0.4 {
+			t.Errorf("config space skewed: %s owns %d of %d keys (%.2f of mean; all=%v)",
+				r, n, len(keys), f, counts)
+		}
+	}
+	if len(counts) != len(testReplicas) {
+		t.Errorf("only %d of %d replicas own production keys: %v", len(counts), len(testReplicas), counts)
+	}
+
+	var synth []string
+	for i := 0; i < 30000; i++ {
+		synth = append(synth, fmt.Sprintf("bench%d|baseline=false|P=%d|scale=%d|scheme=s|mode=m", i, i%16, i%7))
+	}
+	sc := count(synth)
+	smean := float64(len(synth)) / float64(len(testReplicas))
+	for r, n := range sc {
+		if f := float64(n) / smean; f > 1.10 || f < 0.90 {
+			t.Errorf("synthetic distribution skewed: %s owns %d (%.3f of mean)", r, n, f)
+		}
+	}
+}
+
+// TestRingMinimalMovement removes one replica and requires that only the
+// keys it owned move: every other key keeps its owner — the consistent-
+// hashing contract that makes shard loss lose one cache shard, not
+// reshuffle all of them.
+func TestRingMinimalMovement(t *testing.T) {
+	four := append(append([]string(nil), testReplicas...), "http://10.0.0.4:8081")
+	removed := four[3]
+	big, err := NewRing(four, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewRing(testReplicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	keys = append(keys, configSpaceKeys()...)
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, fmt.Sprintf("k%d", i))
+	}
+	moved, owned := 0, 0
+	for _, key := range keys {
+		before, after := big.Owner(key), small.Owner(key)
+		if before == removed {
+			owned++
+			continue // must move; anywhere is legal
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %q moved %s -> %s though its owner survived", key, before, after)
+			if moved > 5 {
+				t.Fatal("... more movement elided")
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("removed replica owned no keys; test is vacuous")
+	}
+	// The removed replica's keys must be redistributed, not funneled to
+	// one survivor.
+	redistributed := map[string]int{}
+	for _, key := range keys {
+		if big.Owner(key) == removed {
+			redistributed[small.Owner(key)]++
+		}
+	}
+	if len(redistributed) < 2 {
+		t.Errorf("removed replica's %d keys all funneled to one survivor: %v", owned, redistributed)
+	}
+}
+
+// TestRingOwners pins the owner-chain contract: distinct replicas,
+// primary first, clamped to the replica count.
+func TestRingOwners(t *testing.T) {
+	ring, err := NewRing(testReplicas, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "treeadd|baseline=false|P=4|scale=64|scheme=local|mode=heuristic"} {
+		owners := ring.Owners(key, 10)
+		if len(owners) != len(testReplicas) {
+			t.Fatalf("Owners(%q, 10) = %v, want all %d replicas", key, owners, len(testReplicas))
+		}
+		if owners[0] != ring.Owner(key) {
+			t.Fatalf("Owners[0] %q != Owner %q", owners[0], ring.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %q in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty replica list must error")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate replicas must error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty replica name must error")
+	}
+}

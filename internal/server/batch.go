@@ -7,7 +7,6 @@ import (
 	"io"
 	"net/http"
 	"sync"
-	"time"
 )
 
 // BatchRequest is the POST /batch body: a set of run configurations to
@@ -172,27 +171,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // the request root, so one batch trace shows every item's queue wait and
 // execution side by side.
 func (s *Server) runBatchItem(parent context.Context, rc *reqCtx, req RunRequest, item *BatchItem) {
-	cacheState := "miss"
-	if req.NoCache {
-		cacheState = "bypass"
-	} else if req.Verify {
-		cacheState = "verify"
-	}
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
-	ctx, cancel := context.WithTimeout(parent, deadline)
+	ctx, cancel := context.WithTimeout(parent, s.clampDeadline(req.DeadlineMS))
 	defer cancel()
 	isp := rc.sp.StartChild("run:" + req.Benchmark)
 	isp.SetAttr("key", item.Key)
 	j := &job{
 		req:      req,
 		key:      item.Key,
-		cache:    cacheState,
+		cache:    req.Disposition(),
 		ctx:      ctx,
 		enqueued: s.cfg.Now(),
 		done:     make(chan result, 1),

@@ -164,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/cache/probe", s.handleCacheProbe)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
@@ -207,6 +208,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// client can quote in a bug report.
 		w.Header().Set("X-Request-Id", traceID)
 		w.Header().Set("X-Oldend-Trace-Id", traceID)
+		if s.cfg.ShardName != "" {
+			w.Header().Set("X-Oldend-Shard", s.cfg.ShardName)
+		}
 
 		rc := &reqCtx{sp: sp, traceID: traceID}
 		sw := &statusWriter{ResponseWriter: w}
@@ -288,25 +292,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cacheMisses.Inc()
 	}
-	cacheState := "miss"
-	if req.NoCache {
-		cacheState = "bypass"
-	} else if req.Verify {
-		cacheState = "verify"
-	}
+	cacheState := req.Disposition()
 	rc.extra.Cache = cacheState
 	probe.SetAttr("cache", cacheState)
 	probe.End()
 
 	// Phase: admission. Deadline starts covering queue wait + run.
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(r.Context(), s.clampDeadline(req.DeadlineMS))
 	defer cancel()
 	j := &job{
 		req:      req,
@@ -373,6 +365,46 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(res.body)
+}
+
+// handleCacheProbe is the peer-cache lookup a cluster router (or any
+// replica acting as a client) uses to ask "do you already hold this
+// result?" without triggering execution:
+//
+//	GET /cache/probe?key=<canonical cache key>
+//
+// A hit serves the memoized bytes exactly as a /run cache hit would —
+// X-Oldend-Cache: hit, the trace digest header, the identical body — so
+// a router can treat a probe hit and a routed hit interchangeably. A
+// miss is a 404 and nothing else: probes are deliberately lightweight
+// (no queueing, no simulation) so a router can afford to ask several
+// owners about a hot key before committing an execution anywhere.
+func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing key (the canonical run-config cache key)")
+		return
+	}
+	rc := requestCtx(r)
+	rc.extra.Key = key
+	e, ok := s.cache.get(key)
+	if !ok {
+		s.probeMisses.Inc()
+		rc.extra.Cache = "probe-miss"
+		writeError(w, http.StatusNotFound, "not cached")
+		return
+	}
+	s.probeHits.Inc()
+	rc.extra.Cache = "probe-hit"
+	w.Header().Set("X-Oldend-Cache", "hit")
+	w.Header().Set("X-Oldend-Trace-Digest", e.digest)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body)
 }
 
 // handleBenchmarks serves the shared catalog — the same bytes

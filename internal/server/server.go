@@ -55,11 +55,38 @@ type RunRequest struct {
 }
 
 // Key is the canonical cache/identity key of the (already normalized)
-// configuration. It deliberately excludes NoCache/Verify/DeadlineMS:
-// those shape request handling, not the result.
-func (q RunRequest) Key() string {
+// configuration. It delegates to CacheKey, the single source of truth.
+func (q RunRequest) Key() string { return CacheKey(q) }
+
+// CacheKey renders the canonical result-cache key of a normalized run
+// configuration — the single source of truth shared by the server's
+// result cache, the cluster router's consistent-hash ring and the tests.
+// It deliberately excludes NoCache/Verify/DeadlineMS: those shape
+// request handling, not the result. Two processes that agree on this
+// string agree on result identity, which is what lets a router shard
+// the cache across replicas without any coordination protocol.
+func CacheKey(q RunRequest) string {
 	return fmt.Sprintf("%s|baseline=%t|P=%d|scale=%d|scheme=%s|mode=%s",
 		q.Benchmark, q.Baseline, q.Procs, q.Scale, q.Scheme, q.Mode)
+}
+
+// Normalize validates a request and fills catalog defaults, returning
+// the canonical configuration CacheKey is defined over. Exported so the
+// cluster router canonicalizes requests exactly the way the replicas
+// will — same validation, same defaults, same key.
+func Normalize(q RunRequest) (RunRequest, error) { return normalize(q) }
+
+// Disposition returns the cache disposition a (normalized) request
+// carries into execution: "bypass" when it refuses the cache, "verify"
+// when it cross-checks it, else "miss".
+func (q RunRequest) Disposition() string {
+	switch {
+	case q.NoCache:
+		return "bypass"
+	case q.Verify:
+		return "verify"
+	}
+	return "miss"
 }
 
 // ExecuteFunc runs one normalized request to completion and returns its
@@ -99,6 +126,11 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429/503 responses
 	// (default 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// ShardName, when set, identifies this replica in a cluster: every
+	// response carries it as X-Oldend-Shard, which is how the router's
+	// balance reporting and the smoke scripts attribute traffic without
+	// trusting the router's own bookkeeping.
+	ShardName string
 	// Metrics receives server-level counters and histograms; a fresh
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -229,6 +261,8 @@ type Server struct {
 	verifyBad    *metrics.Counter
 	phaseHits    *metrics.Counter
 	phaseMisses  *metrics.Counter
+	probeHits    *metrics.Counter
+	probeMisses  *metrics.Counter
 	inflight     *metrics.Gauge
 	queueWait    *metrics.Histogram
 	runLatency   *metrics.Histogram
@@ -266,6 +300,7 @@ func New(cfg Config) *Server {
 	m.SetHelp("oldend_phase_cache_hits_total", "Runs that restored a memoized build-phase boundary instead of rebuilding.")
 	m.SetHelp("oldend_phase_cache_misses_total", "Phase-cacheable runs that built (and memoized) their build state.")
 	m.SetHelp("oldend_phase_cache_entries", "Build-phase boundaries resident in the phase cache right now.")
+	m.SetHelp("oldend_cache_probe_total", "Peer cache probes (GET /cache/probe) served, by outcome.")
 	m.SetHelp("oldend_queue_depth", "Jobs waiting in the admission queue right now.")
 	m.SetHelp("oldend_cache_entries", "Entries resident in the result cache right now.")
 	m.SetHelp("oldend_inflight_runs", "Simulations executing on the worker pool right now.")
@@ -282,6 +317,8 @@ func New(cfg Config) *Server {
 	s.verifyBad = m.Counter("oldend_cache_verify_total", metrics.L("outcome", "mismatch"))
 	s.phaseHits = m.Counter("oldend_phase_cache_hits_total")
 	s.phaseMisses = m.Counter("oldend_phase_cache_misses_total")
+	s.probeHits = m.Counter("oldend_cache_probe_total", metrics.L("outcome", "hit"))
+	s.probeMisses = m.Counter("oldend_cache_probe_total", metrics.L("outcome", "miss"))
 	s.inflight = m.Gauge("oldend_inflight_runs")
 	s.queueWait = m.Histogram("oldend_queue_wait_us")
 	s.runLatency = m.Histogram("oldend_run_us")
@@ -476,6 +513,19 @@ func normalize(q RunRequest) (RunRequest, error) {
 		return q, fmt.Errorf("deadline_ms must be >= 0")
 	}
 	return q, nil
+}
+
+// clampDeadline resolves a request's deadline_ms against the server's
+// default and ceiling — the one deadline policy /run and /batch share.
+func (s *Server) clampDeadline(ms int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
 }
 
 func (s *Server) retryAfterSeconds() string {
